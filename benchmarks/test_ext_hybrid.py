@@ -1,0 +1,37 @@
+"""Extension bench: hybrid trusted/untrusted jobs.
+
+The paper's conclusion plans "hybrid processes running trusted and
+untrusted code"; this bench sweeps their untrusted-memory share on the
+paper's cluster and reports which resource binds — quantifying the
+RAM/EPC imbalance of the SGX machines (8 GiB vs 93.5 MiB).
+"""
+
+from conftest import run_once
+
+from repro.experiments.ext_hybrid import (
+    format_ext_hybrid,
+    run_ext_hybrid,
+)
+
+
+def test_ext_hybrid_jobs(benchmark):
+    result = run_once(benchmark, run_ext_hybrid)
+    print("\n[Extension] hybrid jobs: which resource binds the SGX nodes")
+    print(format_ext_hybrid(result))
+    for share, run in sorted(result.runs.items()):
+        benchmark.extra_info[f"binds_at_{share:g}gib"] = (
+            run.binding_resource
+        )
+
+    shares = sorted(result.runs)
+    smallest = result.runs[shares[0]]
+    largest = result.runs[shares[-1]]
+    # Tiny untrusted parts leave the EPC the bottleneck (the paper's
+    # enclave-only assumption); big ones flip the binding resource to
+    # RAM and strand EPC capacity.
+    assert smallest.binding_resource == "epc"
+    assert largest.binding_resource == "memory"
+    assert (
+        largest.peak_epc_utilization < smallest.peak_epc_utilization
+    )
+    assert largest.makespan_seconds > smallest.makespan_seconds

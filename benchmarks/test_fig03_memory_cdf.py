@@ -1,0 +1,18 @@
+"""Fig. 3 bench: distribution of maximal memory usage in the trace."""
+
+from conftest import run_once
+
+from repro.experiments.fig3_memory_cdf import format_fig3, run_fig3
+
+
+def test_fig03_memory_cdf(benchmark):
+    result = run_once(benchmark, run_fig3)
+    print("\n[Fig. 3] Google Borg trace: max memory usage CDF")
+    print(format_fig3(result))
+    benchmark.extra_info["cdf_at_0.1"] = result.share_below_tenth
+    # Shape targets: capped at 0.5 of the reference machine, with the
+    # bulk of jobs far below it (paper shows ~80 % under 0.1).
+    assert result.max_fraction_covered == 100.0
+    assert result.share_below_tenth > 55.0
+    shares = [share for _, share in result.points]
+    assert shares == sorted(shares)

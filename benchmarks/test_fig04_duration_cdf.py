@@ -1,0 +1,16 @@
+"""Fig. 4 bench: distribution of job duration in the trace."""
+
+from conftest import run_once
+
+from repro.experiments.fig4_duration_cdf import format_fig4, run_fig4
+
+
+def test_fig04_duration_cdf(benchmark):
+    result = run_once(benchmark, run_fig4)
+    print("\n[Fig. 4] Google Borg trace: job duration CDF")
+    print(format_fig4(result))
+    benchmark.extra_info["max_duration_s"] = result.max_duration
+    # Shape target: "All jobs last at most 300 s."
+    assert result.all_within_cap
+    shares = [share for _, share in result.points]
+    assert shares == sorted(shares)

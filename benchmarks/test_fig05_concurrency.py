@@ -1,0 +1,19 @@
+"""Fig. 5 bench: concurrently running jobs over the trace's first 24 h."""
+
+from conftest import run_once
+
+from repro.experiments.fig5_concurrency import format_fig5, run_fig5
+
+
+def test_fig05_concurrency(benchmark):
+    result = run_once(benchmark, run_fig5)
+    print("\n[Fig. 5] Google Borg trace: concurrent jobs, first 24 h")
+    print(format_fig5(result))
+    low, high = result.band
+    benchmark.extra_info["band_low"] = low
+    benchmark.extra_info["band_high"] = high
+    # Shape targets: the 125k-145k band, and an evaluation slice chosen
+    # in a low-activity region of the day.
+    assert 115_000 < low
+    assert high < 155_000
+    assert result.slice_mean() <= result.day_mean()

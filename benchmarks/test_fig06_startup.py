@@ -1,0 +1,33 @@
+"""Fig. 6 bench: SGX process startup versus requested EPC size."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.fig6_startup import format_fig6, run_fig6
+
+
+def test_fig06_startup(benchmark):
+    result = run_once(benchmark, run_fig6)
+    print("\n[Fig. 6] Startup time of SGX processes (60 runs/size)")
+    print(format_fig6(result))
+    benchmark.extra_info["slope_below_ms_per_mib"] = (
+        result.alloc_slope_below_knee() * 1000.0
+    )
+    benchmark.extra_info["slope_above_ms_per_mib"] = (
+        result.alloc_slope_above_knee() * 1000.0
+    )
+    # Shape targets, straight from the paper's text:
+    # PSW ~100 ms flat; 1.6 ms/MiB below the usable EPC; a ~200 ms jump
+    # at the knee; 4.5 ms/MiB beyond it.
+    for row in result.rows:
+        assert row.psw_mean_s == pytest.approx(0.100, rel=0.05)
+    assert result.alloc_slope_below_knee() == pytest.approx(
+        0.0016, rel=0.10
+    )
+    assert result.alloc_slope_above_knee() == pytest.approx(
+        0.0045, rel=0.10
+    )
+    knee_jump = (
+        result.row_at(112.0).alloc_mean_s - result.row_at(93.5).alloc_mean_s
+    )
+    assert knee_jump > 0.200

@@ -1,0 +1,31 @@
+"""Fig. 7 bench: pending-queue series for simulated EPC sizes.
+
+Paper targets: makespans of ~4 h 47 min (32 MiB), 2 h 47 min (64 MiB),
+1 h 22 min (128 MiB) and 1 h (256 MiB, no contention).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig7_epc_sizes import format_fig7, run_fig7
+from repro.units import fmt_duration
+
+
+def test_fig07_epc_sizes(benchmark, trace):
+    result = run_once(benchmark, run_fig7, trace=trace)
+    print("\n[Fig. 7] Pending EPC requests vs simulated EPC size")
+    print(format_fig7(result))
+    spans = result.makespans()
+    for size, seconds in sorted(spans.items()):
+        print(f"  {size:3d} MiB -> {fmt_duration(seconds)}")
+        benchmark.extra_info[f"makespan_{size}mib_s"] = seconds
+
+    # Shape targets: monotone decreasing; no contention at 256 MiB
+    # (batch ends within ~the trace hour); halving the EPC roughly
+    # doubles the drain time.
+    assert spans[32] > spans[64] > spans[128] >= spans[256]
+    assert spans[256] < 1.25 * 3600.0
+    assert 1.5 < spans[64] / spans[128] < 3.0
+    assert 1.3 < spans[32] / spans[64] < 3.0
+    # Every queue drains to zero, as in the figure.
+    for run in result.runs.values():
+        assert run.queue_series[-1].pending_epc_pages == 0

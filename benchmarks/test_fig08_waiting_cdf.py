@@ -1,0 +1,31 @@
+"""Fig. 8 bench: waiting-time CDFs for varying SGX job shares.
+
+Paper targets: the no-SGX run waits little; 25-50 % mixes are close to
+it; the pure-SGX run "goes off the chart" (longest wait 4696 s).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig8_waiting_cdf import format_fig8, run_fig8
+
+
+def test_fig08_waiting_cdf(benchmark, trace):
+    result = run_once(benchmark, run_fig8, trace=trace)
+    print("\n[Fig. 8] Waiting-time CDF by SGX job share (binpack)")
+    print(format_fig8(result))
+    for fraction, run in sorted(result.runs.items()):
+        benchmark.extra_info[f"mean_wait_{int(fraction*100)}pct"] = (
+            run.mean_wait
+        )
+
+    no_sgx = result.run_at(0.0)
+    mix25 = result.run_at(0.25)
+    mix50 = result.run_at(0.5)
+    pure = result.run_at(1.0)
+
+    # Moderate SGX shares stay near the no-SGX baseline...
+    assert mix25.mean_wait < no_sgx.mean_wait + 30.0
+    assert mix50.mean_wait < no_sgx.mean_wait + 60.0
+    # ...while the pure-SGX run is in another regime entirely.
+    assert pure.mean_wait > 5.0 * no_sgx.mean_wait
+    assert 1000.0 < pure.max_wait < 10_000.0

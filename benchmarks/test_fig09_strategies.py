@@ -1,0 +1,31 @@
+"""Fig. 9 bench: waiting time vs requested memory, spread vs binpack.
+
+Paper targets: waits grow with the size of the request for SGX jobs;
+standard jobs barely wait at any size; binpack handles big requests at
+least as well as spread.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig9_strategies import format_fig9, run_fig9
+
+
+def test_fig09_strategies(benchmark, trace):
+    result = run_once(benchmark, run_fig9, trace=trace)
+    print("\n[Fig. 9] Mean waiting time by requested memory (50 % SGX)")
+    print(format_fig9(result))
+    for key, series in result.series.items():
+        benchmark.extra_info[f"mean_wait_{key}"] = (
+            series.overall_mean_wait()
+        )
+
+    for strategy in ("binpack", "spread"):
+        sgx = result.get(strategy, sgx=True)
+        std = result.get(strategy, sgx=False)
+        # SGX jobs wait more than standard jobs overall (EPC is the
+        # scarce resource)...
+        assert sgx.overall_mean_wait() > std.overall_mean_wait()
+        # ...and their biggest requests wait more than their smallest.
+        assert sgx.bins[-1]["mean_wait"] > sgx.bins[0]["mean_wait"]
+        # Standard jobs see low waits across all bins.
+        assert all(b["mean_wait"] < 60.0 for b in std.bins)

@@ -1,0 +1,31 @@
+"""Fig. 10 bench: aggregate turnaround times vs the trace's useful time.
+
+Paper targets: trace bar (94 h there) lower-bounds every run; binpack
+beats or matches spread; SGX jobs need roughly twice the time of their
+standard counterparts (210 h vs 111 h under binpack).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig10_turnaround import format_fig10, run_fig10
+
+
+def test_fig10_turnaround(benchmark, trace):
+    result = run_once(benchmark, run_fig10, trace=trace)
+    print("\n[Fig. 10] Total turnaround time by run")
+    print(format_fig10(result))
+    for key, hours in result.turnaround_hours.items():
+        benchmark.extra_info[f"turnaround_{key}_h"] = hours
+    benchmark.extra_info["trace_h"] = result.trace_hours
+
+    # The trace's useful duration lower-bounds every run.
+    for hours in result.turnaround_hours.values():
+        assert hours >= result.trace_hours
+    # SGX-only runs take roughly twice the standard-only runs.
+    for strategy in ("binpack", "spread"):
+        ratio = result.sgx_to_standard_ratio(strategy)
+        assert 1.4 < ratio < 3.0
+    # Spread is not better than binpack for the contended SGX workload.
+    assert result.get("spread", "sgx") >= 0.95 * result.get(
+        "binpack", "sgx"
+    )

@@ -1,0 +1,33 @@
+"""Fig. 11 bench: malicious containers with and without limit enforcement.
+
+Paper targets: waits grow with the squatters' allocation size when
+limits are disabled; enforcing limits annihilates the squatters and even
+beats the trace-only reference, because the trace's own 44
+over-allocators are killed at launch.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig11_limits import format_fig11, run_fig11
+
+
+def test_fig11_limits(benchmark, trace):
+    result = run_once(benchmark, run_fig11, trace=trace)
+    print("\n[Fig. 11] Honest-job waiting times under malicious pods")
+    print(format_fig11(result))
+    for label, run in result.runs.items():
+        benchmark.extra_info[f"mean_wait[{label}]"] = run.mean_wait
+
+    reference = result.get("limits-disabled/trace-only")
+    squat25 = result.get("limits-disabled/25%-epc")
+    squat50 = result.get("limits-disabled/50%-epc")
+    enforced = result.get("limits-enabled/50%-epc")
+
+    # Bigger squatters hurt honest jobs more.
+    assert reference.mean_wait < squat25.mean_wait < squat50.mean_wait
+    # Enforcement annihilates the squatters...
+    assert enforced.mean_wait < 0.25 * squat50.mean_wait
+    # ...and kills the malicious pods plus the trace's over-allocators,
+    # beating even the trace-only reference.
+    assert enforced.killed_pods >= 20
+    assert enforced.mean_wait <= reference.mean_wait

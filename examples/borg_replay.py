@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Replay the scaled Google Borg trace, as in Sections VI-B/VI-E.
+
+Generates the 663-job evaluation workload (1-hour slice, every-1200th-
+job sampling, 44 over-allocators), replays it through the full control
+plane at several SGX job shares and prints the waiting-time picture of
+Fig. 8 plus the turnaround totals of Fig. 10.
+
+Run:  python examples/borg_replay.py [--jobs N] [--sgx-share PCT ...]
+"""
+
+import argparse
+
+from repro import ReplayConfig, replay_trace, synthetic_scaled_trace
+from repro.trace.stats import cdf_at, percentile
+from repro.units import fmt_duration
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=663,
+        help="jobs in the scaled trace (paper: 663)",
+    )
+    parser.add_argument(
+        "--sgx-share",
+        type=float,
+        nargs="*",
+        default=[0.0, 50.0, 100.0],
+        help="SGX job percentages to replay (paper: 0..100 by 25)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    overallocators = round(44 * args.jobs / 663)
+    trace = synthetic_scaled_trace(
+        seed=args.seed, n_jobs=args.jobs, overallocators=overallocators
+    )
+    print(
+        f"Trace: {len(trace)} jobs over {fmt_duration(trace.span_seconds)}, "
+        f"{trace.overallocator_count} over-allocators, "
+        f"useful duration {trace.total_duration_seconds / 3600:.1f} h"
+    )
+
+    for share in args.sgx_share:
+        config = ReplayConfig(
+            scheduler="binpack", sgx_fraction=share / 100.0, seed=1
+        )
+        result = replay_trace(trace, config)
+        metrics = result.metrics
+        waits = metrics.waiting_times()
+        print(f"\n=== {share:.0f}% SGX jobs (binpack) ===")
+        print(
+            f"  completed {len(metrics.succeeded)}, "
+            f"failed {len(metrics.failed)}, "
+            f"makespan {fmt_duration(metrics.makespan_seconds)}"
+        )
+        print(
+            f"  waiting: mean {metrics.mean_waiting_seconds():.1f}s, "
+            f"median {percentile(waits, 50):.1f}s, "
+            f"p95 {percentile(waits, 95):.1f}s, "
+            f"max {metrics.max_waiting_seconds():.0f}s"
+        )
+        print(
+            "  waiting CDF: "
+            + ", ".join(
+                f"<={int(w)}s: {cdf_at(waits, w):.0f}%"
+                for w in (5.0, 60.0, 600.0, 2000.0)
+            )
+        )
+        print(
+            f"  total turnaround: "
+            f"{metrics.total_turnaround_hours():.1f} h "
+            f"(trace bar: {trace.total_duration_seconds / 3600:.1f} h)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""A confidential service's full life: deploy, attest, seal, restart.
+
+Combines the orchestration and SGX substrates the way the paper's
+motivating scenario does: a tenant deploys a secret-holding service to
+an untrusted cluster, verifies it by remote attestation, persists its
+state with sealed storage, and survives a pod restart *without*
+re-attesting — Section II's stated purpose of sealing.
+
+Run:  python examples/confidential_service.py
+"""
+
+from repro import (
+    BinpackScheduler,
+    Orchestrator,
+    make_pod_spec,
+    paper_cluster,
+)
+from repro.sgx.sealing import SealPolicy, SealingError, SealingService
+from repro.units import mib
+
+SECRET_STATE = b"user-keys: alice=0xA11CE, bob=0xB0B"
+
+
+def deploy_service(orchestrator, scheduler, name, now):
+    """Deploy one instance of the service and return its pod."""
+    pod = orchestrator.submit(
+        make_pod_spec(
+            name, duration_seconds=3600.0, declared_epc_bytes=mib(16)
+        ),
+        now=now,
+    )
+    result = orchestrator.scheduling_pass(scheduler, now=now + 1.0)
+    assert any(p is pod for p, _ in result.launched)
+    orchestrator.start_pod(pod, now=now + 1.5)
+    return pod
+
+
+def enclave_of(orchestrator, pod):
+    """The pod's enclave and its node's AESM (via the driver books)."""
+    kubelet = orchestrator.kubelets[pod.node_name]
+    record = kubelet._records[pod.uid]  # white-box peek for the demo
+    return record.enclave, record.psw.aesm
+
+
+def main() -> None:
+    orchestrator = Orchestrator(paper_cluster())
+    scheduler = BinpackScheduler()
+
+    # Generation 1 of the service.
+    pod_v1 = deploy_service(orchestrator, scheduler, "kv-service-v1", 0.0)
+    enclave_v1, aesm_v1 = enclave_of(orchestrator, pod_v1)
+    print(f"deployed {pod_v1.name} on {pod_v1.node_name}")
+
+    # The tenant attests it before trusting it with secrets.
+    quote = aesm_v1.get_quote(enclave_v1.measurement, report_data="nonce-1")
+    print(f"attestation quote: {quote.digest[:24]}... (verified by tenant)")
+
+    # The service seals its state to the node's disk (MRSIGNER policy,
+    # so a patched build from the same vendor can still read it).
+    sealing = SealingService(platform_id=pod_v1.node_name)
+    blob = sealing.seal(enclave_v1, SECRET_STATE, SealPolicy.MRSIGNER)
+    print(f"sealed {blob.size_bytes} bytes of state (policy {blob.policy})")
+
+    # The pod is killed (node drain, crash, upgrade...).
+    orchestrator.kill_pod(pod_v1, now=100.0, reason="node drain")
+    print(f"{pod_v1.name} killed: {pod_v1.failure_reason}")
+
+    # Generation 2 lands on a node; if it is the same platform, the
+    # sealed state opens with no new remote attestation round-trip.
+    pod_v2 = deploy_service(orchestrator, scheduler, "kv-service-v2", 200.0)
+    enclave_v2, _ = enclave_of(orchestrator, pod_v2)
+    print(f"redeployed as {pod_v2.name} on {pod_v2.node_name}")
+
+    if pod_v2.node_name == pod_v1.node_name:
+        recovered = sealing.unseal(enclave_v2, blob)
+        print(
+            f"state recovered without re-attestation: "
+            f"{recovered.decode()!r}"
+        )
+    else:
+        # Seal keys are platform-bound: another node cannot unseal.
+        try:
+            SealingService(pod_v2.node_name).unseal(enclave_v2, blob)
+        except SealingError as exc:
+            print(f"different platform, unseal refused as designed: {exc}")
+            print("(a real deployment migrates sealed state by re-sealing "
+                  "through an attested channel)")
+
+    # An imposter signed by another vendor can never read the state.
+    from repro.sgx.driver import SgxDriver
+    from repro.sgx.epc import EnclavePageCache
+    from repro.sgx.aesm import AesmService
+
+    evil_driver = SgxDriver(EnclavePageCache())
+    evil_driver.register_process(1, "/kubepods/burstable/podevil")
+    imposter = evil_driver.create_enclave(
+        1, size_bytes=mib(16), signer="eve-corp"
+    )
+    evil_aesm = AesmService(platform_id=pod_v1.node_name)
+    evil_aesm.start()
+    evil_driver.initialize_enclave(1, imposter, evil_aesm)
+    try:
+        sealing.unseal(imposter, blob)
+    except SealingError as exc:
+        print(f"imposter enclave rejected: {exc}")
+
+
+if __name__ == "__main__":
+    main()

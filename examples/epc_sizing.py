@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""What-if analysis of EPC sizes, including future SGX 2 hardware.
+
+Reproduces the Fig. 7 experiment: replay the all-SGX workload under PRM
+sizes of 32 to 256 MiB and watch the pending-request backlog drain.  On
+current 128 MiB hardware the batch needs well over the trace hour; a
+hypothetical 256 MiB EPC removes contention entirely — the paper's
+argument for why SGX 2's relaxed limits matter to cloud providers.
+
+Run:  python examples/epc_sizing.py
+"""
+
+from repro import ReplayConfig, replay_trace, synthetic_scaled_trace
+from repro.units import fmt_duration, mib
+
+
+def sparkline(values, width=48) -> str:
+    """Tiny text rendition of the pending-queue curve."""
+    if not values:
+        return ""
+    blocks = " .:-=+*#%@"
+    peak = max(values) or 1.0
+    step = max(1, len(values) // width)
+    sampled = values[::step][:width]
+    return "".join(
+        blocks[min(int(v / peak * (len(blocks) - 1)), len(blocks) - 1)]
+        for v in sampled
+    )
+
+
+def main() -> None:
+    trace = synthetic_scaled_trace(seed=42)
+    print(
+        "All-SGX replay of the scaled Borg trace under various EPC sizes\n"
+    )
+    print(
+        f"{'EPC':>7s} {'makespan':>10s} {'peak queue':>12s} "
+        f"{'done':>5s} {'rejected':>8s}  pending-EPC curve"
+    )
+    for size_mib in (32, 64, 128, 256):
+        result = replay_trace(
+            trace,
+            ReplayConfig(
+                scheduler="binpack",
+                sgx_fraction=1.0,
+                seed=1,
+                epc_total_bytes=mib(size_mib),
+            ),
+        )
+        metrics = result.metrics
+        curve = [s.pending_epc_mib for s in metrics.queue_series]
+        print(
+            f"{size_mib:4d}MiB {fmt_duration(metrics.makespan_seconds):>10s} "
+            f"{max(curve):9.0f}MiB {len(metrics.succeeded):5d} "
+            f"{len(metrics.failed):8d}  |{sparkline(curve)}|"
+        )
+    print(
+        "\nPaper's measured makespans: 32 MiB -> 4h47, 64 MiB -> 2h47, "
+        "128 MiB -> 1h22, 256 MiB -> 1h00."
+    )
+    print(
+        "Rejected jobs are enclaves larger than the shrunken usable EPC "
+        "(possible at 32/64 MiB); they can never fit and are failed "
+        "so the queue drains, as in the figure."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setup shim for environments installing with legacy (non-PEP 517) paths."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,83 @@
+"""repro — SGX-aware container orchestration for heterogeneous clusters.
+
+A from-scratch Python reproduction of Vaucher et al., "SGX-Aware
+Container Orchestration for Heterogeneous Clusters" (ICDCS 2018),
+including every substrate the paper's system stands on: an SGX/EPC model
+with the patched Linux driver interface, a Kubernetes-like control plane
+with device plugins and DaemonSets, a time-series database with an
+InfluxQL subset, the Google Borg trace pipeline, and a discrete-event
+simulator that replays the paper's entire evaluation.
+
+Quick start::
+
+    from repro import (
+        Orchestrator, paper_cluster, BinpackScheduler, make_pod_spec,
+    )
+    from repro.units import mib
+
+    orchestrator = Orchestrator(paper_cluster())
+    pod = orchestrator.submit(
+        make_pod_spec("job", duration_seconds=60,
+                      declared_epc_bytes=mib(10)),
+        now=0.0,
+    )
+    orchestrator.scheduling_pass(BinpackScheduler(), now=1.0)
+    print(pod.node_name)  # 'sgx-worker-0'
+
+or replay the paper's whole evaluation workload::
+
+    from repro import ReplayConfig, replay_trace, synthetic_scaled_trace
+
+    trace = synthetic_scaled_trace(seed=42)
+    result = replay_trace(trace, ReplayConfig(sgx_fraction=0.5))
+    print(result.metrics.mean_waiting_seconds())
+"""
+
+from .cluster.node import Node, NodeSpec
+from .cluster.resources import ResourceVector
+from .cluster.topology import Cluster, paper_cluster, uniform_cluster
+from .orchestrator.api import (
+    PodPhase,
+    PodSpec,
+    ResourceRequirements,
+    WorkloadProfile,
+    make_pod_spec,
+)
+from .orchestrator.controller import Orchestrator
+from .orchestrator.pod import Pod
+from .scheduler.binpack import BinpackScheduler
+from .scheduler.kube_default import KubeDefaultScheduler
+from .scheduler.spread import SpreadScheduler
+from .simulation.runner import ReplayConfig, ReplayResult, replay_trace
+from .trace.borg import BorgTraceGenerator, synthetic_scaled_trace
+from .trace.loader import load_borg_csv
+from .workload.malicious import MaliciousConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BinpackScheduler",
+    "BorgTraceGenerator",
+    "Cluster",
+    "KubeDefaultScheduler",
+    "MaliciousConfig",
+    "Node",
+    "NodeSpec",
+    "Orchestrator",
+    "Pod",
+    "PodPhase",
+    "PodSpec",
+    "ReplayConfig",
+    "ReplayResult",
+    "ResourceRequirements",
+    "ResourceVector",
+    "SpreadScheduler",
+    "WorkloadProfile",
+    "__version__",
+    "load_borg_csv",
+    "make_pod_spec",
+    "paper_cluster",
+    "replay_trace",
+    "synthetic_scaled_trace",
+    "uniform_cluster",
+]

@@ -1,0 +1,171 @@
+"""Command-line interface: regenerate any paper figure from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig7 [--trace-seed N] [--run-seed N]
+    python -m repro all
+
+Each figure command runs the corresponding experiment driver and prints
+the same table the benchmark harness produces.  Exit status is 0 on
+success, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .experiments import common
+from .experiments.ext_hybrid import format_ext_hybrid, run_ext_hybrid
+from .experiments.ext_sgx2 import format_ext_sgx2, run_ext_sgx2
+from .experiments.fig3_memory_cdf import format_fig3, run_fig3
+from .experiments.fig4_duration_cdf import format_fig4, run_fig4
+from .experiments.fig5_concurrency import format_fig5, run_fig5
+from .experiments.fig6_startup import format_fig6, run_fig6
+from .experiments.fig7_epc_sizes import format_fig7, run_fig7
+from .experiments.fig8_waiting_cdf import format_fig8, run_fig8
+from .experiments.fig9_strategies import format_fig9, run_fig9
+from .experiments.fig10_turnaround import format_fig10, run_fig10
+from .experiments.fig11_limits import format_fig11, run_fig11
+
+#: name -> (description, needs_trace, run, format)
+_FIGURES: Dict[str, Tuple[str, bool, Callable, Callable]] = {
+    "fig3": (
+        "Borg trace: max memory usage CDF",
+        False,
+        lambda seeds: run_fig3(seed=seeds[0]),
+        format_fig3,
+    ),
+    "fig4": (
+        "Borg trace: job duration CDF",
+        False,
+        lambda seeds: run_fig4(seed=seeds[0]),
+        format_fig4,
+    ),
+    "fig5": (
+        "Borg trace: concurrent jobs over the first 24 h",
+        False,
+        lambda seeds: run_fig5(seed=seeds[0]),
+        format_fig5,
+    ),
+    "fig6": (
+        "SGX process startup vs requested EPC size",
+        False,
+        lambda seeds: run_fig6(),
+        format_fig6,
+    ),
+    "fig7": (
+        "pending queue vs simulated EPC size (32..256 MiB)",
+        True,
+        lambda seeds: run_fig7(
+            trace=common.default_trace(seeds[0]), seed=seeds[1]
+        ),
+        format_fig7,
+    ),
+    "fig8": (
+        "waiting-time CDF for 0..100 % SGX job shares",
+        True,
+        lambda seeds: run_fig8(
+            trace=common.default_trace(seeds[0]), seed=seeds[1]
+        ),
+        format_fig8,
+    ),
+    "fig9": (
+        "waiting time vs requested memory, spread vs binpack",
+        True,
+        lambda seeds: run_fig9(
+            trace=common.default_trace(seeds[0]), seed=seeds[1]
+        ),
+        format_fig9,
+    ),
+    "fig10": (
+        "total turnaround per strategy and job type",
+        True,
+        lambda seeds: run_fig10(
+            trace=common.default_trace(seeds[0]), seed=seeds[1]
+        ),
+        format_fig10,
+    ),
+    "fig11": (
+        "malicious containers with and without EPC limits",
+        True,
+        lambda seeds: run_fig11(
+            trace=common.default_trace(seeds[0]), seed=seeds[1]
+        ),
+        format_fig11,
+    ),
+    "ext-sgx2": (
+        "extension: SGX 1 vs SGX 2 on a bursty enclave workload",
+        False,
+        lambda seeds: run_ext_sgx2(seed=seeds[1]),
+        format_ext_sgx2,
+    ),
+    "ext-hybrid": (
+        "extension: hybrid trusted/untrusted jobs, binding resource",
+        False,
+        lambda seeds: run_ext_hybrid(seed=seeds[1]),
+        format_ext_hybrid,
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the evaluation figures of 'SGX-Aware Container "
+            "Orchestration for Heterogeneous Clusters' (ICDCS 2018)."
+        ),
+    )
+    parser.add_argument(
+        "command",
+        choices=sorted(_FIGURES) + ["all", "list"],
+        help="figure to regenerate, 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--trace-seed",
+        type=int,
+        default=common.DEFAULT_TRACE_SEED,
+        help="seed of the synthetic Borg trace (default %(default)s)",
+    )
+    parser.add_argument(
+        "--run-seed",
+        type=int,
+        default=common.DEFAULT_RUN_SEED,
+        help="seed of per-run randomness such as SGX job designation "
+        "(default %(default)s)",
+    )
+    return parser
+
+
+def _run_one(name: str, seeds: Tuple[int, int]) -> None:
+    description, _needs_trace, run, formatter = _FIGURES[name]
+    print(f"== {name}: {description} ==")
+    print(formatter(run(seeds)))
+    print()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    seeds = (args.trace_seed, args.run_seed)
+
+    if args.command == "list":
+        width = max(len(name) for name in _FIGURES)
+        for name in sorted(_FIGURES):
+            print(f"{name:{width}s}  {_FIGURES[name][0]}")
+        return 0
+    if args.command == "all":
+        for name in sorted(_FIGURES):
+            _run_one(name, seeds)
+        return 0
+    _run_one(args.command, seeds)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Cluster substrate: resource vectors, cgroups, nodes and topologies.
+
+Models the physical machines of the paper's 5-node testbed (Section VI-A)
+and the kernel-level accounting structures (cgroups) the limit-enforcement
+channel relies on (Section V-D).
+"""
+
+from .resources import ResourceVector
+from .cgroups import CgroupHierarchy, Cgroup
+from .node import Node, NodeSpec
+from .topology import Cluster, paper_cluster, uniform_cluster
+
+__all__ = [
+    "Cgroup",
+    "CgroupHierarchy",
+    "Cluster",
+    "Node",
+    "NodeSpec",
+    "ResourceVector",
+    "paper_cluster",
+    "uniform_cluster",
+]

@@ -1,0 +1,122 @@
+"""Resource vectors: the quantities the scheduler reasons about.
+
+A :class:`ResourceVector` carries the three dimensions relevant to the
+paper's placement problem — CPU (millicores, as Kubernetes counts them),
+standard memory (bytes) and EPC (pages).  Vectors support the arithmetic
+the filter and scoring phases need: addition, subtraction, comparison
+against a capacity, and utilisation ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ResourceError
+from ..units import fmt_bytes, pages_to_mib
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """An immutable (cpu, memory, epc) triple.
+
+    ``cpu_millicores`` uses Kubernetes' milli-CPU convention (1000 = one
+    core).  ``memory_bytes`` is standard RAM.  ``epc_pages`` counts 4 KiB
+    EPC pages; zero for standard jobs and non-SGX nodes.
+    """
+
+    cpu_millicores: int = 0
+    memory_bytes: int = 0
+    epc_pages: int = 0
+
+    def __post_init__(self):
+        for name in ("cpu_millicores", "memory_bytes", "epc_pages"):
+            value = getattr(self, name)
+            if not isinstance(value, int):
+                raise ResourceError(f"{name} must be an int, got {value!r}")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "ResourceVector":
+        """The additive identity."""
+        return cls(0, 0, 0)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.cpu_millicores + other.cpu_millicores,
+            self.memory_bytes + other.memory_bytes,
+            self.epc_pages + other.epc_pages,
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.cpu_millicores - other.cpu_millicores,
+            self.memory_bytes - other.memory_bytes,
+            self.epc_pages - other.epc_pages,
+        )
+
+    def clamp_floor(self) -> "ResourceVector":
+        """Clamp all negative components to zero."""
+        return ResourceVector(
+            max(0, self.cpu_millicores),
+            max(0, self.memory_bytes),
+            max(0, self.epc_pages),
+        )
+
+    # -- comparisons -----------------------------------------------------
+
+    def fits_within(self, capacity: "ResourceVector") -> bool:
+        """Component-wise ``<=``: can this demand fit in *capacity*?"""
+        return (
+            self.cpu_millicores <= capacity.cpu_millicores
+            and self.memory_bytes <= capacity.memory_bytes
+            and self.epc_pages <= capacity.epc_pages
+        )
+
+    @property
+    def is_nonnegative(self) -> bool:
+        """Whether no component is negative."""
+        return (
+            self.cpu_millicores >= 0
+            and self.memory_bytes >= 0
+            and self.epc_pages >= 0
+        )
+
+    @property
+    def requires_sgx(self) -> bool:
+        """Whether this demand can only be met by an SGX-capable node."""
+        return self.epc_pages > 0
+
+    # -- derived metrics ---------------------------------------------------
+
+    def utilization_of(self, capacity: "ResourceVector") -> Dict[str, float]:
+        """Per-dimension utilisation ratios against *capacity*.
+
+        Dimensions with zero capacity are reported as 0.0 when unused and
+        ``inf`` when used — a demand on a dimension a node lacks.
+        """
+
+        def ratio(used: int, cap: int) -> float:
+            if cap == 0:
+                return float("inf") if used > 0 else 0.0
+            return used / cap
+
+        return {
+            "cpu": ratio(self.cpu_millicores, capacity.cpu_millicores),
+            "memory": ratio(self.memory_bytes, capacity.memory_bytes),
+            "epc": ratio(self.epc_pages, capacity.epc_pages),
+        }
+
+    def dominant_utilization(self, capacity: "ResourceVector") -> float:
+        """The max utilisation ratio across dimensions (binpack score)."""
+        return max(self.utilization_of(capacity).values())
+
+    def __repr__(self) -> str:
+        return (
+            f"ResourceVector(cpu={self.cpu_millicores}m, "
+            f"mem={fmt_bytes(self.memory_bytes)}, "
+            f"epc={self.epc_pages}p/{pages_to_mib(self.epc_pages):.1f}MiB)"
+        )

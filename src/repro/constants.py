@@ -1,0 +1,146 @@
+"""Constants taken directly from the paper (Vaucher et al., ICDCS 2018).
+
+Every number here is traceable to a specific sentence, figure or table of
+the paper; the section is cited next to each constant.  Centralising them
+keeps the latency model, the trace scaling and the cluster inventory
+honest: experiments read these values instead of re-declaring them.
+"""
+
+from __future__ import annotations
+
+from .units import gib, mib
+
+# --------------------------------------------------------------------------
+# SGX / EPC geometry (Section II)
+# --------------------------------------------------------------------------
+
+#: Total Processor Reserved Memory configured on current hardware (Sec. II:
+#: "current hardware supports at most 128MiB").
+EPC_TOTAL_BYTES = mib(128)
+
+#: Usable share of the EPC; the remainder stores SGX metadata (Sec. II:
+#: "Only 93.5MiB out of 128MiB can effectively be used by applications").
+EPC_USABLE_BYTES = mib(93.5)
+
+#: Usable EPC expressed in 4 KiB pages (Sec. II: "a total of 23 936 pages").
+EPC_USABLE_PAGES = 23_936
+
+#: Worst-case slowdown when the EPC is over-committed and paging kicks in
+#: (Sec. V-A: "severe performance drops up to 1000x", citing SCONE).
+EPC_PAGING_MAX_SLOWDOWN = 1000.0
+
+# --------------------------------------------------------------------------
+# SGX startup latency model (Section VI-D, Figure 6)
+# --------------------------------------------------------------------------
+
+#: PSW / AESM service startup, "about 100 ms", independent of enclave size.
+PSW_STARTUP_SECONDS = 0.100
+
+#: EPC allocation rate below the usable-EPC knee: "1.6 ms/MiB".
+EPC_ALLOC_SECONDS_PER_MIB_BELOW = 0.0016
+
+#: EPC allocation rate past the knee: "4.5 ms/MiB".
+EPC_ALLOC_SECONDS_PER_MIB_ABOVE = 0.0045
+
+#: Fixed penalty once allocation crosses the usable EPC: "a fixed delay of
+#: about 200 ms".
+EPC_ALLOC_KNEE_PENALTY_SECONDS = 0.200
+
+#: Standard (non-SGX) job startup: "steadily took less than 1 ms".
+STANDARD_STARTUP_SECONDS = 0.001
+
+# --------------------------------------------------------------------------
+# Cluster inventory (Section VI-A)
+# --------------------------------------------------------------------------
+
+#: RAM of each Dell PowerEdge R330 (Xeon E3-1270 v6) machine.
+STANDARD_NODE_MEMORY_BYTES = gib(64)
+
+#: Logical CPUs of the Xeon E3-1270 v6 (4 cores / 8 threads).
+STANDARD_NODE_CPUS = 8
+
+#: RAM of each SGX-enabled machine (Intel i7-6700).
+SGX_NODE_MEMORY_BYTES = gib(8)
+
+#: Logical CPUs of the i7-6700 (4 cores / 8 threads).
+SGX_NODE_CPUS = 8
+
+#: Number of non-SGX worker machines (3 R330 minus the master).
+STANDARD_WORKER_COUNT = 2
+
+#: Number of SGX-enabled worker machines.
+SGX_WORKER_COUNT = 2
+
+# --------------------------------------------------------------------------
+# Trace scaling (Section VI-B)
+# --------------------------------------------------------------------------
+
+#: Start of the 1-hour evaluation slice, seconds from trace start.
+TRACE_SLICE_START_SECONDS = 6480
+
+#: End (exclusive) of the evaluation slice.
+TRACE_SLICE_END_SECONDS = 10_080
+
+#: Frequency down-scaling: "We sample every 1200th job from the trace".
+TRACE_SAMPLING_STRIDE = 1200
+
+#: Jobs in the scaled trace ("44 jobs out of 663 show this behavior").
+TRACE_SCALED_JOB_COUNT = 663
+
+#: Number of scaled-trace jobs that allocate more than they advertise.
+TRACE_OVERALLOCATOR_COUNT = 44
+
+#: Longest job duration in the trace (Fig. 4: "All jobs last at most 300 s").
+TRACE_MAX_JOB_DURATION_SECONDS = 300.0
+
+#: Largest max-memory-usage fraction observed in the trace (Fig. 3 x-range).
+TRACE_MAX_MEMORY_FRACTION = 0.5
+
+#: Multiplier mapping trace memory fractions to standard-job bytes
+#: (Sec. VI-B: "we compute their memory usage by multiplying them to 32GiB").
+STANDARD_MEMORY_MULTIPLIER_BYTES = gib(32)
+
+#: Multiplier mapping trace memory fractions to SGX-job EPC bytes
+#: (Sec. VI-B: "multiplying the memory usage factor ... to the total usable
+#: size of the EPC (93.5MiB in our case)").
+SGX_MEMORY_MULTIPLIER_BYTES = mib(93.5)
+
+# --------------------------------------------------------------------------
+# Scheduler / monitoring defaults (Sections IV, V-C)
+# --------------------------------------------------------------------------
+
+#: Sliding-window length used by the paper's InfluxQL query (Listing 1:
+#: ``time >= now() - 25s``).
+METRICS_WINDOW_SECONDS = 25.0
+
+#: Period between metric pushes from node probes (Heapster default-ish;
+#: must be shorter than the sliding window to keep it populated).
+METRICS_PUSH_PERIOD_SECONDS = 10.0
+
+#: Period between scheduling passes over the pending queue (Sec. IV: "the
+#: scheduler periodically checks").
+SCHEDULER_PERIOD_SECONDS = 5.0
+
+# --------------------------------------------------------------------------
+# Paper-reported results used as shape targets (Section VI)
+# --------------------------------------------------------------------------
+
+#: Fig. 7 makespans per simulated EPC size, in seconds.
+FIG7_MAKESPAN_TARGETS = {
+    mib(32): 4 * 3600 + 47 * 60,
+    mib(64): 2 * 3600 + 47 * 60,
+    mib(128): 1 * 3600 + 22 * 60,
+    mib(256): 1 * 3600,
+}
+
+#: Fig. 8: longest wait in the 100 %-SGX run, seconds.
+FIG8_MAX_WAIT_SECONDS = 4696.0
+
+#: Fig. 10 aggregate turnaround times, hours.
+FIG10_TURNAROUND_HOURS = {
+    "trace": 94.0,
+    ("binpack", "standard"): 111.0,
+    ("binpack", "sgx"): 210.0,
+    ("spread", "standard"): 129.0,
+    ("spread", "sgx"): 275.0,
+}

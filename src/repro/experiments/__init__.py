@@ -1,0 +1,33 @@
+"""Per-figure experiment drivers.
+
+One module per table/figure of the paper's evaluation (Section VI).
+Each exposes a ``run_*`` function returning a structured result with the
+same rows/series the paper plots, plus a ``format_*`` helper printing it
+as a text table.  The benchmark harness under ``benchmarks/`` is a thin
+wrapper around these drivers.
+"""
+
+from .common import default_trace, format_table
+from .fig3_memory_cdf import run_fig3
+from .fig4_duration_cdf import run_fig4
+from .fig5_concurrency import run_fig5
+from .fig6_startup import run_fig6
+from .fig7_epc_sizes import run_fig7
+from .fig8_waiting_cdf import run_fig8
+from .fig9_strategies import run_fig9
+from .fig10_turnaround import run_fig10
+from .fig11_limits import run_fig11
+
+__all__ = [
+    "default_trace",
+    "format_table",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+]

@@ -1,0 +1,202 @@
+"""Extension experiment — hybrid trusted/untrusted jobs.
+
+The paper's conclusion plans support for "hybrid processes running
+trusted and untrusted code"; its evaluation machines make the trade
+interesting: the SGX workers carry 93.5 MiB of usable EPC but only
+8 GiB of RAM.  This experiment sweeps the *untrusted memory share* of a
+hybrid job population and measures which resource binds: as the
+untrusted working set grows, RAM on the SGX nodes saturates first and
+EPC capacity strands — quantifying why the paper assumes jobs run
+"entirely in enclaves" and what changes once they do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..cluster.topology import paper_cluster
+from ..orchestrator.controller import Orchestrator
+from ..orchestrator.pod import Pod
+from ..scheduler.binpack import BinpackScheduler
+from ..simulation.engine import SimulationEngine
+from ..units import gib, mib
+from ..workload.hybrid import hybrid_pod_spec
+from .common import format_table
+
+#: Untrusted-memory sizes swept (bytes per job), as RAM/EPC ratios.
+MEMORY_SHARES_GIB = (0.0625, 0.5, 1.0, 2.0, 4.0)
+
+
+@dataclass
+class HybridRun:
+    """One memory share's outcome."""
+
+    memory_gib: float
+    makespan_seconds: float
+    mean_wait_seconds: float
+    #: Peak EPC utilisation achieved across SGX nodes (0..1).
+    peak_epc_utilization: float
+    #: Peak RAM utilisation achieved across SGX nodes (0..1).
+    peak_memory_utilization: float
+
+    @property
+    def binding_resource(self) -> str:
+        """Which dimension limited packing at the peak."""
+        return (
+            "memory"
+            if self.peak_memory_utilization > self.peak_epc_utilization
+            else "epc"
+        )
+
+
+@dataclass
+class ExtHybridResult:
+    """The sweep over untrusted-memory shares."""
+
+    runs: Dict[float, HybridRun]
+
+
+class _HybridRun:
+    """Mini event-driven run of one hybrid job population."""
+
+    def __init__(self, memory_bytes: int, n_jobs: int, seed: int):
+        self.cluster = paper_cluster()
+        self.orchestrator = Orchestrator(self.cluster)
+        self.scheduler = BinpackScheduler()
+        self.engine = SimulationEngine()
+        rng = np.random.default_rng(seed)
+        submit_times = np.sort(rng.uniform(0.0, 900.0, size=n_jobs))
+        self.durations: Dict[str, float] = {}
+        self.specs = []
+        for index in range(n_jobs):
+            name = f"hybrid-{index}"
+            duration = float(rng.uniform(60.0, 180.0))
+            self.durations[name] = duration
+            self.specs.append(
+                (
+                    float(submit_times[index]),
+                    hybrid_pod_spec(
+                        name,
+                        duration_seconds=duration,
+                        declared_epc_bytes=int(rng.uniform(mib(6), mib(20))),
+                        declared_memory_bytes=memory_bytes,
+                    ),
+                )
+            )
+        self.unsubmitted = n_jobs
+        self.running = 0
+        self.peak_epc = 0.0
+        self.peak_mem = 0.0
+
+    def _active(self) -> bool:
+        return (
+            self.unsubmitted > 0
+            or self.running > 0
+            or len(self.orchestrator.queue) > 0
+        )
+
+    def _observe_peaks(self) -> None:
+        for node in self.cluster.sgx_nodes:
+            assert node.epc is not None
+            epc_util = node.used_epc_pages() / node.epc.total_pages
+            mem_util = (
+                node.used_memory_bytes() / node.spec.memory_bytes
+            )
+            self.peak_epc = max(self.peak_epc, epc_util)
+            self.peak_mem = max(self.peak_mem, mem_util)
+
+    def _metrics_tick(self) -> None:
+        self.orchestrator.collect_metrics(self.engine.now)
+        self._observe_peaks()
+        if self._active():
+            self.engine.schedule_in(10.0, self._metrics_tick)
+
+    def _scheduler_tick(self) -> None:
+        result = self.orchestrator.scheduling_pass(
+            self.scheduler, self.engine.now
+        )
+        for pod, startup in result.launched:
+            self.running += 1
+            self.engine.schedule_in(startup, lambda p=pod: self._start(p))
+        if self._active():
+            self.engine.schedule_in(5.0, self._scheduler_tick)
+
+    def _start(self, pod: Pod) -> None:
+        self.orchestrator.start_pod(pod, self.engine.now)
+        self._observe_peaks()
+        self.engine.schedule_in(
+            self.durations[pod.name], lambda: self._finish(pod)
+        )
+
+    def _finish(self, pod: Pod) -> None:
+        self.running -= 1
+        self.orchestrator.complete_pod(pod, self.engine.now)
+
+    def _submit(self, spec) -> None:
+        self.unsubmitted -= 1
+        self.orchestrator.submit(spec, self.engine.now)
+
+    def run(self, memory_gib: float) -> HybridRun:
+        for submit_time, spec in self.specs:
+            self.engine.schedule_at(
+                submit_time, lambda s=spec: self._submit(s)
+            )
+        self.engine.schedule_at(0.0, self._metrics_tick)
+        self.engine.schedule_at(2.5, self._scheduler_tick)
+        self.engine.run(until=24 * 3600.0)
+        pods = self.orchestrator.all_pods
+        waits = [
+            p.waiting_seconds for p in pods if p.waiting_seconds is not None
+        ]
+        return HybridRun(
+            memory_gib=memory_gib,
+            makespan_seconds=max(
+                (p.finished_at for p in pods if p.finished_at), default=0.0
+            ),
+            mean_wait_seconds=sum(waits) / len(waits) if waits else 0.0,
+            peak_epc_utilization=self.peak_epc,
+            peak_memory_utilization=self.peak_mem,
+        )
+
+
+def run_ext_hybrid(
+    n_jobs: int = 60, seed: int = 0, shares_gib=MEMORY_SHARES_GIB
+) -> ExtHybridResult:
+    """Sweep the untrusted-memory share of a hybrid job population."""
+    runs: Dict[float, HybridRun] = {}
+    for share in shares_gib:
+        runner = _HybridRun(
+            memory_bytes=int(gib(share)), n_jobs=n_jobs, seed=seed
+        )
+        runs[share] = runner.run(share)
+    return ExtHybridResult(runs=runs)
+
+
+def format_ext_hybrid(result: ExtHybridResult) -> str:
+    """The table the bench prints: binding resource per memory share."""
+    rows: List = []
+    for share, run in sorted(result.runs.items()):
+        rows.append(
+            (
+                f"{share:g} GiB",
+                run.makespan_seconds,
+                run.mean_wait_seconds,
+                run.peak_epc_utilization * 100.0,
+                run.peak_memory_utilization * 100.0,
+                run.binding_resource,
+            )
+        )
+    return format_table(
+        [
+            "untrusted mem/job",
+            "makespan [s]",
+            "mean wait [s]",
+            "peak EPC [%]",
+            "peak RAM [%]",
+            "binds",
+        ],
+        rows,
+    )

@@ -1,0 +1,74 @@
+"""Fig. 10 — aggregate turnaround times versus the trace's useful time.
+
+The paper sums the turnaround (submission to death) of all jobs for four
+single-type runs — {binpack, spread} x {standard-only, SGX-only} — and
+compares against the trace's total useful duration (the dotted bar).
+Reported findings: binpack beats spread; under binpack, SGX jobs need
+slightly less than twice the time of standard jobs; the trace bar lower-
+bounds everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..simulation.runner import ReplayConfig, replay_trace
+from ..trace.schema import Trace
+from .common import DEFAULT_RUN_SEED, default_trace, format_table
+
+RUN_MATRIX = (
+    ("binpack", "standard", 0.0),
+    ("binpack", "sgx", 1.0),
+    ("spread", "standard", 0.0),
+    ("spread", "sgx", 1.0),
+)
+
+
+@dataclass
+class Fig10Result:
+    """Total turnaround hours per run, plus the trace bar."""
+
+    turnaround_hours: Dict[str, float]  # "<strategy>/<kind>" -> hours
+    trace_hours: float
+
+    def get(self, strategy: str, kind: str) -> float:
+        """Total turnaround hours of one run."""
+        return self.turnaround_hours[f"{strategy}/{kind}"]
+
+    def sgx_to_standard_ratio(self, strategy: str) -> float:
+        """How much longer SGX jobs take than standard ones."""
+        return self.get(strategy, "sgx") / self.get(strategy, "standard")
+
+
+def run_fig10(
+    trace: Trace = None, seed: int = DEFAULT_RUN_SEED
+) -> Fig10Result:
+    """Run the four single-type replays and sum turnarounds."""
+    if trace is None:
+        trace = default_trace()
+    hours: Dict[str, float] = {}
+    for strategy, kind, fraction in RUN_MATRIX:
+        result = replay_trace(
+            trace,
+            ReplayConfig(
+                scheduler=strategy, sgx_fraction=fraction, seed=seed
+            ),
+        )
+        hours[f"{strategy}/{kind}"] = (
+            result.metrics.total_turnaround_hours()
+        )
+    return Fig10Result(
+        turnaround_hours=hours,
+        trace_hours=trace.total_duration_seconds / 3600.0,
+    )
+
+
+def format_fig10(result: Fig10Result) -> str:
+    """The table the bench prints: the figure's bars in hours."""
+    rows = [
+        (key, hours)
+        for key, hours in sorted(result.turnaround_hours.items())
+    ]
+    rows.append(("trace (useful duration)", result.trace_hours))
+    return format_table(["run", "total turnaround [h]"], rows)

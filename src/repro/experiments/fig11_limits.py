@@ -1,0 +1,124 @@
+"""Fig. 11 — waiting times under malicious containers, with/without limits.
+
+Section VI-F deploys one malicious container per SGX node: each declares
+a 1-page EPC request/limit but actually occupies 25 % or 50 % of the
+node's EPC.  Four runs are compared:
+
+* limits disabled, trace jobs only (the reference);
+* limits disabled, malicious at 25 % EPC;
+* limits disabled, malicious at 50 % EPC — honest jobs wait longest;
+* limits **enabled**, malicious at 50 % — enforcement kills the
+  malicious pods at launch, and also the trace's own 44 over-allocators,
+  which is why this run beats even the reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..simulation.runner import ReplayConfig, replay_trace
+from ..trace.schema import Trace
+from ..trace.stats import cdf_at, mean
+from ..workload.malicious import MaliciousConfig
+from .common import DEFAULT_RUN_SEED, default_trace, format_table
+
+#: SGX share used by the Fig. 11 runs (the trace replay of Sec. VI-B).
+SGX_FRACTION = 0.5
+
+#: Waiting-time grid (seconds) at which CDFs are reported.
+WAIT_GRID = (5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1200.0, 2000.0)
+
+#: The figure's four runs: (label, limits enforced, malicious occupancy).
+RUN_MATRIX: Tuple[Tuple[str, bool, float], ...] = (
+    ("limits-disabled/trace-only", False, 0.0),
+    ("limits-disabled/25%-epc", False, 0.25),
+    ("limits-disabled/50%-epc", False, 0.5),
+    ("limits-enabled/50%-epc", True, 0.5),
+)
+
+
+@dataclass
+class Fig11Run:
+    """One configuration's replay."""
+
+    label: str
+    limits_enforced: bool
+    malicious_occupancy: float
+    honest_waits: List[float]
+    killed_pods: int
+
+    @property
+    def mean_wait(self) -> float:
+        """Mean waiting time of honest jobs that ran."""
+        return mean(self.honest_waits) if self.honest_waits else 0.0
+
+    @property
+    def max_wait(self) -> float:
+        """Longest wait of an honest job."""
+        return max(self.honest_waits) if self.honest_waits else 0.0
+
+    def cdf_points(self) -> List[Tuple[float, float]]:
+        """(wait s, CDF %) along the grid."""
+        return [(w, cdf_at(self.honest_waits, w)) for w in WAIT_GRID]
+
+
+@dataclass
+class Fig11Result:
+    """All four runs."""
+
+    runs: Dict[str, Fig11Run]
+
+    def get(self, label: str) -> Fig11Run:
+        """One run by its figure label."""
+        return self.runs[label]
+
+
+def run_fig11(
+    trace: Trace = None, seed: int = DEFAULT_RUN_SEED
+) -> Fig11Result:
+    """Replay the four malicious/limits configurations."""
+    if trace is None:
+        trace = default_trace()
+    runs: Dict[str, Fig11Run] = {}
+    for label, enforce, occupancy in RUN_MATRIX:
+        malicious = (
+            MaliciousConfig(epc_occupancy=occupancy) if occupancy else None
+        )
+        config = ReplayConfig(
+            scheduler="binpack",
+            sgx_fraction=SGX_FRACTION,
+            seed=seed,
+            enforce_epc_limits=enforce,
+            epc_allow_overcommit=not enforce,
+            malicious=malicious,
+        )
+        result = replay_trace(trace, config)
+        honest = [
+            pod
+            for pod in result.metrics.succeeded
+            if pod.spec.labels.get("origin") != "malicious"
+        ]
+        runs[label] = Fig11Run(
+            label=label,
+            limits_enforced=enforce,
+            malicious_occupancy=occupancy,
+            honest_waits=result.metrics.waiting_times(honest),
+            killed_pods=len(result.metrics.failed),
+        )
+    return Fig11Result(runs=runs)
+
+
+def format_fig11(result: Fig11Result) -> str:
+    """The table the bench prints: CDF % per threshold and run."""
+    labels = [label for label, _, _ in RUN_MATRIX]
+    headers = ["wait [s]"] + labels
+    rows = []
+    for wait in WAIT_GRID:
+        rows.append(
+            [f"{wait:.0f}"]
+            + [cdf_at(result.runs[lb].honest_waits, wait) for lb in labels]
+        )
+    rows.append(["mean wait"] + [result.runs[lb].mean_wait for lb in labels])
+    rows.append(["killed"] + [result.runs[lb].killed_pods for lb in labels])
+    return format_table(headers, rows)

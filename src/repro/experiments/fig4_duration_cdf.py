@@ -1,0 +1,55 @@
+"""Fig. 4 — Google Borg trace: distribution of job duration.
+
+All jobs in the paper's trace last at most 300 s; the CDF rises smoothly
+across [0, 300].  Reported at a fixed grid of durations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..trace.borg import BorgTraceGenerator
+from ..trace.stats import cdf_at
+from .common import DEFAULT_TRACE_SEED, format_table
+
+#: Grid of durations (seconds) at which the CDF is reported.
+DURATION_GRID = (30.0, 60.0, 90.0, 120.0, 150.0, 180.0, 240.0, 300.0)
+
+
+@dataclass
+class Fig4Result:
+    """CDF of job duration."""
+
+    points: List[Tuple[float, float]]  # (seconds, CDF %)
+    sample_count: int
+    max_duration: float
+
+    @property
+    def all_within_cap(self) -> bool:
+        """Whether no job exceeds the 300 s cap (the figure's x-range)."""
+        return self.max_duration <= 300.0 and self.points[-1][1] >= 99.999
+
+
+def run_fig4(
+    seed: int = DEFAULT_TRACE_SEED, n_samples: int = 50_000
+) -> Fig4Result:
+    """Compute Fig. 4's CDF from the trace generator's marginals."""
+    durations, _ = BorgTraceGenerator(seed=seed).marginal_samples(n_samples)
+    samples = durations.tolist()
+    points = [
+        (duration, cdf_at(samples, duration)) for duration in DURATION_GRID
+    ]
+    return Fig4Result(
+        points=points,
+        sample_count=len(samples),
+        max_duration=max(samples),
+    )
+
+
+def format_fig4(result: Fig4Result) -> str:
+    """The table the bench prints: CDF % at each duration."""
+    return format_table(
+        ["duration [s]", "CDF [%]"],
+        [(f"{duration:.0f}", share) for duration, share in result.points],
+    )

@@ -1,0 +1,110 @@
+"""Fig. 7 — pending-queue time series for simulated EPC sizes.
+
+The paper simulates the trace under EPC sizes of 32, 64, 128 and 256 MiB
+and plots the total memory requested by pending pods over time.  The
+observed makespans are ~4 h 47 min, 2 h 47 min, 1 h 22 min and 1 h: the
+256 MiB run shows no contention at all (the batch completes in the trace
+hour), while halving the EPC roughly doubles the drain time.
+
+Jobs whose enclave cannot fit even an idle node (possible at 32 MiB,
+where the usable EPC is ~23.4 MiB but enclaves reach ~46.75 MiB) are
+rejected as permanently unschedulable; the queue drains to zero, as in
+the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..simulation.metrics import QueueSample
+from ..simulation.runner import ReplayConfig, replay_trace
+from ..trace.schema import Trace
+from ..units import fmt_duration, mib
+from .common import DEFAULT_RUN_SEED, default_trace, format_table
+
+#: Simulated EPC sizes (total PRM bytes), as in the figure's legend.
+EPC_SIZES_MIB = (32, 64, 128, 256)
+
+
+@dataclass
+class Fig7Run:
+    """One EPC size's replay."""
+
+    epc_mib: int
+    makespan_seconds: float
+    queue_series: List[QueueSample]
+    completed: int
+    rejected: int
+
+    def peak_pending_mib(self) -> float:
+        """Largest EPC backlog observed (the curve's peak)."""
+        if not self.queue_series:
+            return 0.0
+        return max(s.pending_epc_mib for s in self.queue_series)
+
+
+@dataclass
+class Fig7Result:
+    """The EPC-size sweep."""
+
+    runs: Dict[int, Fig7Run]
+
+    def makespans(self) -> Dict[int, float]:
+        """Makespan seconds per EPC size."""
+        return {
+            size: run.makespan_seconds for size, run in self.runs.items()
+        }
+
+
+def run_fig7(
+    trace: Trace = None,
+    seed: int = DEFAULT_RUN_SEED,
+    sizes_mib=EPC_SIZES_MIB,
+) -> Fig7Result:
+    """Replay the all-SGX trace under each simulated EPC size."""
+    if trace is None:
+        trace = default_trace()
+    runs: Dict[int, Fig7Run] = {}
+    for size in sizes_mib:
+        result = replay_trace(
+            trace,
+            ReplayConfig(
+                scheduler="binpack",
+                sgx_fraction=1.0,
+                seed=seed,
+                epc_total_bytes=mib(size),
+            ),
+        )
+        metrics = result.metrics
+        runs[size] = Fig7Run(
+            epc_mib=size,
+            makespan_seconds=metrics.makespan_seconds,
+            queue_series=metrics.queue_series,
+            completed=len(metrics.succeeded),
+            rejected=len(metrics.failed),
+        )
+    return Fig7Result(runs=runs)
+
+
+def format_fig7(result: Fig7Result) -> str:
+    """The table the bench prints: makespan and backlog per EPC size."""
+    return format_table(
+        [
+            "EPC [MiB]",
+            "makespan",
+            "peak pending [MiB]",
+            "completed",
+            "rejected",
+        ],
+        [
+            (
+                size,
+                fmt_duration(run.makespan_seconds),
+                run.peak_pending_mib(),
+                run.completed,
+                run.rejected,
+            )
+            for size, run in sorted(result.runs.items())
+        ],
+    )

@@ -1,0 +1,94 @@
+"""Fig. 8 — CDF of waiting times for varying SGX job shares.
+
+The paper replays the trace with 0 %, 25 %, 50 %, 75 % and 100 % of jobs
+designated SGX-enabled, under the binpack strategy.  Findings: the
+no-SGX run waits little; 25-50 % mixes sit close to it ("incorporating a
+reasonable number of SGX jobs has close to zero impact"); the pure-SGX
+run goes off the chart with a 4696 s longest wait.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..simulation.runner import ReplayConfig, replay_trace
+from ..trace.schema import Trace
+from ..trace.stats import cdf_at, mean
+from .common import DEFAULT_RUN_SEED, default_trace, format_table
+
+#: SGX job shares on the figure's legend.
+SGX_FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+#: Waiting-time grid (seconds) at which CDFs are reported.
+WAIT_GRID = (5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1200.0, 2000.0)
+
+
+@dataclass
+class Fig8Run:
+    """One SGX share's replay."""
+
+    sgx_fraction: float
+    waiting_times: List[float]
+    max_wait: float
+    mean_wait: float
+
+    def cdf_points(self) -> List[Tuple[float, float]]:
+        """(wait s, CDF %) along the grid."""
+        return [(w, cdf_at(self.waiting_times, w)) for w in WAIT_GRID]
+
+
+@dataclass
+class Fig8Result:
+    """The SGX-share sweep."""
+
+    runs: Dict[float, Fig8Run]
+
+    def run_at(self, fraction: float) -> Fig8Run:
+        """The run for one SGX share."""
+        return self.runs[fraction]
+
+
+def run_fig8(
+    trace: Trace = None,
+    seed: int = DEFAULT_RUN_SEED,
+    fractions=SGX_FRACTIONS,
+) -> Fig8Result:
+    """Replay the trace at each SGX share under binpack."""
+    if trace is None:
+        trace = default_trace()
+    runs: Dict[float, Fig8Run] = {}
+    for fraction in fractions:
+        result = replay_trace(
+            trace,
+            ReplayConfig(
+                scheduler="binpack", sgx_fraction=fraction, seed=seed
+            ),
+        )
+        waits = result.metrics.waiting_times()
+        runs[fraction] = Fig8Run(
+            sgx_fraction=fraction,
+            waiting_times=waits,
+            max_wait=max(waits) if waits else 0.0,
+            mean_wait=mean(waits) if waits else 0.0,
+        )
+    return Fig8Result(runs=runs)
+
+
+def format_fig8(result: Fig8Result) -> str:
+    """The table the bench prints: CDF % per wait threshold and share."""
+    fractions = sorted(result.runs)
+    headers = ["wait [s]"] + [f"{int(f * 100)}% SGX" for f in fractions]
+    rows = []
+    for wait in WAIT_GRID:
+        rows.append(
+            [f"{wait:.0f}"]
+            + [
+                cdf_at(result.runs[f].waiting_times, wait)
+                for f in fractions
+            ]
+        )
+    rows.append(
+        ["max wait"] + [result.runs[f].max_wait for f in fractions]
+    )
+    return format_table(headers, rows)

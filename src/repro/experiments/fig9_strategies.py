@@ -1,0 +1,104 @@
+"""Fig. 9 — waiting times vs requested memory, spread vs binpack.
+
+One replay with a 50/50 standard/SGX split per strategy; jobs are binned
+by their declared memory request (EPC for SGX jobs, standard memory
+otherwise) and the mean waiting time with a 95 % confidence interval is
+reported per bin — the paper's bar plot with error bars.  The paper
+observes spread consistently worse than binpack, and binpack handling
+the bigger requests better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..simulation.runner import ReplayConfig, replay_trace
+from ..trace.schema import Trace
+from ..units import pages_to_mib
+from .common import DEFAULT_RUN_SEED, default_trace, format_table
+
+STRATEGIES = ("spread", "binpack")
+
+#: Bins per job population, as in the figure's x-axis.
+BIN_COUNT = 6
+
+
+@dataclass
+class Fig9Series:
+    """One (strategy, job kind) series of per-bin mean waits."""
+
+    strategy: str
+    sgx: bool
+    bins: List[Dict[str, float]]
+
+    def overall_mean_wait(self) -> float:
+        """Mean waiting time pooled over all bins (count-weighted)."""
+        total = sum(b["mean_wait"] * b["count"] for b in self.bins)
+        count = sum(b["count"] for b in self.bins)
+        return total / count if count else 0.0
+
+
+@dataclass
+class Fig9Result:
+    """All four series of the figure."""
+
+    series: Dict[str, Fig9Series]  # key: "<strategy>/<sgx|standard>"
+
+    def get(self, strategy: str, sgx: bool) -> Fig9Series:
+        """One series by strategy and job kind."""
+        kind = "sgx" if sgx else "standard"
+        return self.series[f"{strategy}/{kind}"]
+
+
+def run_fig9(
+    trace: Trace = None, seed: int = DEFAULT_RUN_SEED
+) -> Fig9Result:
+    """Replay the 50/50 mix under both strategies and bin the waits."""
+    if trace is None:
+        trace = default_trace()
+    series: Dict[str, Fig9Series] = {}
+    for strategy in STRATEGIES:
+        result = replay_trace(
+            trace,
+            ReplayConfig(scheduler=strategy, sgx_fraction=0.5, seed=seed),
+        )
+        for sgx in (True, False):
+            kind = "sgx" if sgx else "standard"
+            series[f"{strategy}/{kind}"] = Fig9Series(
+                strategy=strategy,
+                sgx=sgx,
+                bins=result.metrics.waiting_by_memory_bin(
+                    bin_count=BIN_COUNT, sgx=sgx
+                ),
+            )
+    return Fig9Result(series=series)
+
+
+def format_fig9(result: Fig9Result) -> str:
+    """The table the bench prints: per-bin mean waits with 95 % CIs."""
+    rows = []
+    for key in sorted(result.series):
+        entry = result.series[key]
+        for bin_row in entry.bins:
+            if entry.sgx:
+                low = pages_to_mib(int(bin_row["bin_low"]))
+                high = pages_to_mib(int(bin_row["bin_high"]))
+                request = f"{low:.0f}-{high:.0f} MiB EPC"
+            else:
+                low = bin_row["bin_low"] / 2**30
+                high = bin_row["bin_high"] / 2**30
+                request = f"{low:.1f}-{high:.1f} GiB"
+            rows.append(
+                (
+                    key,
+                    request,
+                    bin_row["mean_wait"],
+                    bin_row["ci95"],
+                    int(bin_row["count"]),
+                )
+            )
+    return format_table(
+        ["series", "request bin", "mean wait [s]", "+-95% [s]", "jobs"],
+        rows,
+    )

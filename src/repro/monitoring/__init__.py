@@ -1,0 +1,32 @@
+"""Monitoring substrate: time-series database, InfluxQL subset and probes.
+
+Replaces the paper's Heapster + InfluxDB pipeline (Section V-C) with an
+in-memory equivalent:
+
+* :mod:`repro.monitoring.tsdb` — a time-series store with tags, retention
+  and range scans;
+* :mod:`repro.monitoring.influxql` — a lexer/parser/executor for the
+  InfluxQL subset the paper's scheduler uses, sufficient to run Listing 1
+  verbatim (nested sub-query, ``MAX``/``SUM``, ``now() - 25s`` windows,
+  ``GROUP BY``);
+* :mod:`repro.monitoring.heapster` — the standard-memory collector;
+* :mod:`repro.monitoring.probe` — the SGX EPC probe deployed per node as a
+  DaemonSet payload, reading the patched driver's counters.
+"""
+
+from .tsdb import Point, TimeSeriesDatabase
+from .influxql import InfluxQLError, execute_query, parse_query
+from .heapster import Heapster, MEASUREMENT_MEMORY
+from .probe import SgxMetricsProbe, MEASUREMENT_EPC
+
+__all__ = [
+    "Heapster",
+    "InfluxQLError",
+    "MEASUREMENT_EPC",
+    "MEASUREMENT_MEMORY",
+    "Point",
+    "SgxMetricsProbe",
+    "TimeSeriesDatabase",
+    "execute_query",
+    "parse_query",
+]

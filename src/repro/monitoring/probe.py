@@ -1,0 +1,88 @@
+"""SGX metrics probe: the DaemonSet payload measuring EPC usage.
+
+One probe runs on every SGX-enabled node (deployed by the DaemonSet
+controller, Section V-C).  It reads the patched driver's counters — the
+``sgx_nr_total_epc_pages`` / ``sgx_nr_free_pages`` module parameters plus
+the per-process occupancy ioctl rolled up by cgroup — and pushes per-pod
+EPC usage into the same TSDB Heapster uses, under the ``sgx/epc``
+measurement with ``pod_name``/``nodename`` tags so the scheduler's
+InfluxQL (Listing 1) covers both resource kinds with one query shape.
+
+Values are written in **EPC pages**, the unit the whole accounting chain
+(device plugin, driver, scheduler) shares.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sgx.driver import (
+    PARAM_FREE_PAGES,
+    PARAM_TOTAL_PAGES,
+    SgxDriver,
+)
+from .tsdb import TimeSeriesDatabase
+
+#: Measurement name for EPC usage, as in the paper's Listing 1.
+MEASUREMENT_EPC = "sgx/epc"
+
+#: Measurement for node-level EPC gauges (total/free pages).
+MEASUREMENT_EPC_NODE = "sgx/epc_node"
+
+
+class SgxMetricsProbe:
+    """Per-node probe translating driver counters into TSDB points.
+
+    Parameters
+    ----------
+    node_name:
+        Tag value for ``nodename``.
+    driver:
+        The node's :class:`~repro.sgx.driver.SgxDriver`.
+    db:
+        Destination time-series database.
+    pod_name_resolver:
+        Maps a cgroup path to the owning pod's name.  Supplied by the
+        Kubelet, which owns the cgroup-to-pod mapping.  Unresolvable
+        cgroups are skipped (e.g. enclaves of system daemons).
+    """
+
+    def __init__(
+        self,
+        node_name: str,
+        driver: SgxDriver,
+        db: TimeSeriesDatabase,
+        pod_name_resolver: Callable[[str], Optional[str]],
+    ):
+        self.node_name = node_name
+        self.driver = driver
+        self.db = db
+        self.pod_name_resolver = pod_name_resolver
+
+    def collect(self, now: float) -> int:
+        """Take one measurement pass; returns points written."""
+        written = 0
+        snapshot = self.driver.snapshot()
+        for cgroup_path, pages in snapshot.usage_by_owner.items():
+            pod_name = self.pod_name_resolver(cgroup_path)
+            if pod_name is None:
+                continue
+            self.db.write(
+                MEASUREMENT_EPC,
+                value=float(pages),
+                time=now,
+                tags={"pod_name": pod_name, "nodename": self.node_name},
+            )
+            written += 1
+        for param, label in (
+            (PARAM_TOTAL_PAGES, "total"),
+            (PARAM_FREE_PAGES, "free"),
+        ):
+            self.db.write(
+                MEASUREMENT_EPC_NODE,
+                value=float(self.driver.read_parameter(param)),
+                time=now,
+                tags={"nodename": self.node_name, "gauge": label},
+            )
+            written += 1
+        return written

@@ -1,0 +1,343 @@
+"""Orchestrator facade: the control plane wired together.
+
+Owns the cluster's Kubelets, the device plugins, the monitoring pipeline
+(Heapster + SGX probes via a DaemonSet) and the persistent pending
+queue, and exposes the operations the event loop drives:
+
+* :meth:`Orchestrator.submit` — user submits a pod (Fig. 2, step 1-2);
+* :meth:`Orchestrator.collect_metrics` — probes push usage samples;
+* :meth:`Orchestrator.scheduling_pass` — fetch pending jobs + metrics,
+  filter, place, bind (Fig. 2, steps 3-5);
+* :meth:`Orchestrator.start_pod` / :meth:`complete_pod` / meth:`kill_pod`
+  — lifecycle transitions driven by the simulation clock.
+
+The orchestrator itself is clock-free: every method takes ``now``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..cluster.topology import Cluster
+from ..constants import METRICS_WINDOW_SECONDS
+from ..errors import OrchestrationError
+from ..monitoring.heapster import Heapster
+from ..monitoring.probe import SgxMetricsProbe
+from ..monitoring.tsdb import TimeSeriesDatabase
+from ..scheduler.base import ClusterStateService, Scheduler
+from ..sgx.migration import MigrationManager
+from ..sgx.perf import SgxPerfModel
+from .api import PodSpec
+from .daemonset import DaemonSetController, sgx_node_selector
+from .device_plugin import SgxDevicePlugin
+from .images import ImageRegistry
+from .kubelet import Kubelet
+from .pod import Pod
+from .queue import PendingQueue
+from .rpc import RpcChannel
+
+#: Name of the DaemonSet that keeps one SGX probe per SGX node.
+PROBE_DAEMONSET = "sgx-metrics-probe"
+
+
+@dataclass
+class PassResult:
+    """What one scheduling pass did."""
+
+    #: Pods successfully launched, with their startup latency.
+    launched: List[Tuple[Pod, float]] = field(default_factory=list)
+    #: Pods killed at launch (limit enforcement, EPC exhaustion...).
+    killed: List[Pod] = field(default_factory=list)
+    #: Pods rejected as permanently unschedulable.
+    rejected: List[Pod] = field(default_factory=list)
+    #: Pods whose launch failed transiently and were requeued.
+    requeued: List[Pod] = field(default_factory=list)
+    #: Pods left pending.
+    deferred: List[Pod] = field(default_factory=list)
+
+
+class Orchestrator:
+    """The control plane of one cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        db: Optional[TimeSeriesDatabase] = None,
+        perf_model: Optional[SgxPerfModel] = None,
+        metrics_window_seconds: float = METRICS_WINDOW_SECONDS,
+        enforce_memory_limits: bool = False,
+        registry: Optional[ImageRegistry] = None,
+    ):
+        self.cluster = cluster
+        self.db = db or TimeSeriesDatabase(retention_seconds=3600.0)
+        self.perf_model = perf_model or SgxPerfModel()
+        self.registry = registry
+        self.kubelets: Dict[str, Kubelet] = {}
+        for node in cluster:
+            kubelet = Kubelet(
+                node,
+                perf_model=self.perf_model,
+                enforce_memory_limits=enforce_memory_limits,
+                registry=registry,
+            )
+            self.kubelets[node.name] = kubelet
+            # Device plugin discovers /dev/isgx and registers over RPC.
+            SgxDevicePlugin(node).register(RpcChannel(kubelet.rpc_server))
+
+        self.heapster = Heapster(self.db)
+        self.heapster.register_all(self.kubelets.values())
+
+        self.daemonsets = DaemonSetController()
+        self.daemonsets.create(
+            PROBE_DAEMONSET,
+            selector=sgx_node_selector,
+            factory=self._make_probe,
+        )
+        self.daemonsets.reconcile(self.kubelets.values())
+
+        self.state_service = ClusterStateService(
+            list(self.kubelets.values()),
+            self.db,
+            window_seconds=metrics_window_seconds,
+        )
+        self.queue = PendingQueue()
+        self.all_pods: List[Pod] = []
+        self.migrations = MigrationManager()
+
+    def _make_probe(self, kubelet: Kubelet) -> SgxMetricsProbe:
+        driver = kubelet.node.driver
+        if driver is None:
+            raise OrchestrationError(
+                f"probe requested for non-SGX node {kubelet.node.name}"
+            )
+        return SgxMetricsProbe(
+            node_name=kubelet.node.name,
+            driver=driver,
+            db=self.db,
+            pod_name_resolver=kubelet.resolve_pod_name,
+        )
+
+    # -- node lifecycle (Sec. V-C: probes follow nodes automatically) ----
+
+    def add_node(self, node) -> Kubelet:
+        """Join a new physical node to the cluster.
+
+        Registers its Kubelet and device plugin, hooks it into Heapster
+        and lets the DaemonSet controller deploy a probe if the node
+        advertises SGX — the paper's "automatically handle the
+        deployment of new probes when adding physical nodes".
+        """
+        self.cluster.add_node(node)
+        kubelet = Kubelet(
+            node,
+            perf_model=self.perf_model,
+            registry=self.registry,
+        )
+        self.kubelets[node.name] = kubelet
+        SgxDevicePlugin(node).register(RpcChannel(kubelet.rpc_server))
+        self.heapster.register(kubelet)
+        self.daemonsets.reconcile(self.kubelets.values())
+        self.state_service.kubelets.append(kubelet)
+        return kubelet
+
+    def remove_node(self, node_name: str, now: float) -> List[Pod]:
+        """Handle a node crash or drain.
+
+        Pods running there are re-submitted to the queue (their specs
+        survive; their progress does not — a crash analogue of the
+        Kubernetes controller recreating lost pods), the node's probe is
+        reaped by the DaemonSet reconciliation and its metrics stop.
+        Returns the requeued pods.
+        """
+        kubelet = self.kubelets.pop(node_name, None)
+        if kubelet is None:
+            raise OrchestrationError(f"no such node {node_name!r}")
+        orphans = list(kubelet.admitted_pods())
+        requeued: List[Pod] = []
+        for pod in orphans:
+            kubelet.terminate(pod)
+            pod.mark_failed(now, f"node {node_name} lost")
+            replacement = self.submit(pod.spec, now)
+            requeued.append(replacement)
+        self.cluster.remove_node(node_name)
+        self.heapster.unregister(kubelet)
+        self.state_service.kubelets = [
+            k for k in self.state_service.kubelets if k is not kubelet
+        ]
+        self.daemonsets.reconcile(self.kubelets.values())
+        return requeued
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, spec: PodSpec, now: float) -> Pod:
+        """Accept a pod into the pending queue (Fig. 2, steps 1-2)."""
+        pod = Pod(spec, submitted_at=now)
+        self.queue.push(pod)
+        self.all_pods.append(pod)
+        return pod
+
+    # -- monitoring --------------------------------------------------------
+
+    def collect_metrics(self, now: float) -> int:
+        """One metrics push from Heapster and every SGX probe."""
+        written = self.heapster.collect(now)
+        for probe in self.daemonsets.payloads(PROBE_DAEMONSET):
+            written += probe.collect(now)
+        return written
+
+    # -- scheduling ----------------------------------------------------------
+
+    def scheduling_pass(
+        self,
+        scheduler: Scheduler,
+        now: float,
+        only_matching: bool = False,
+    ) -> PassResult:
+        """Run one pass of *scheduler* over the pending queue.
+
+        With ``only_matching=True``, the pass considers only pods whose
+        spec names this scheduler — the paper's Sec. V-B deployment
+        where "multiple schedulers concurrently operate over the same
+        cluster" and "each pod deployed to the cluster can specify
+        which scheduler it requires" (how the authors ran comparative
+        benchmarks).  The default considers the whole queue, as in a
+        single-scheduler production deployment.
+        """
+        result = PassResult()
+        pending = self.queue.snapshot()
+        if only_matching:
+            pending = [
+                pod
+                for pod in pending
+                if pod.spec.scheduler_name == scheduler.name
+            ]
+        if not pending:
+            return result
+        views = self.state_service.build_views(now)
+        outcome = scheduler.schedule(pending, views, now)
+
+        for pod in outcome.unschedulable:
+            self.queue.remove(pod)
+            pod.mark_failed(now, "Unschedulable: fits no node's capacity")
+            result.rejected.append(pod)
+
+        for assignment in outcome.assignments:
+            pod = assignment.pod
+            self.queue.remove(pod)
+            pod.mark_bound(assignment.node_name, now)
+            kubelet = self.kubelets[assignment.node_name]
+            admission = kubelet.admit(pod)
+            if admission.success:
+                result.launched.append((pod, admission.startup_seconds))
+            elif admission.retryable:
+                # Transient failure (e.g. the EPC filled between the
+                # metrics snapshot and launch): back to the queue, like
+                # a Kubernetes crash-looping pod.
+                pod.mark_unbound()
+                self.queue.push(pod)
+                result.requeued.append(pod)
+            else:
+                pod.mark_failed(now, admission.failure_reason or "killed")
+                result.killed.append(pod)
+
+        result.deferred.extend(outcome.deferred)
+        return result
+
+    # -- lifecycle driven by the event loop ----------------------------------
+
+    def start_pod(self, pod: Pod, now: float) -> None:
+        """Startup latency elapsed; the workload begins useful work."""
+        pod.mark_running(now)
+
+    def complete_pod(self, pod: Pod, now: float) -> None:
+        """Workload finished; free the node's resources."""
+        kubelet = self._kubelet_of(pod)
+        kubelet.terminate(pod)
+        pod.mark_succeeded(now)
+
+    def migrate_pod(
+        self, pod: Pod, target_node_name: str, now: float
+    ) -> float:
+        """Live-migrate a running SGX pod to another node.
+
+        The paper's future-work extension, wired through the secure
+        migration protocol (:mod:`repro.sgx.migration`): quiescent
+        checkpoint on the source, self-destroy, attested one-time
+        restore on the target.  Returns the migration downtime in
+        seconds (checkpoint transfer over the 1 Gbit/s network plus the
+        target-side restore allocation), which the caller's event loop
+        should account before the pod resumes useful work.
+        """
+        if pod.node_name is None or pod.node_name == target_node_name:
+            raise OrchestrationError(
+                f"pod {pod.name} cannot migrate to {target_node_name!r}"
+            )
+        source = self.kubelets[pod.node_name]
+        target = self.kubelets.get(target_node_name)
+        if target is None:
+            raise OrchestrationError(f"no such node {target_node_name!r}")
+        if target.node.driver is None:
+            raise OrchestrationError(
+                f"target {target_node_name!r} has no SGX support"
+            )
+        pid, enclave, source_aesm = source.begin_migration(pod)
+        # Target-side PSW does not exist yet; attest against a probe
+        # AESM for the target platform (same platform identity).
+        from ..sgx.aesm import AesmService
+
+        target_probe = AesmService(platform_id=f"platform-{pod.uid}")
+        target_probe.start()
+        checkpoint, key = self.migrations.checkpoint(
+            source.node.driver, pid, enclave, source_aesm, target_probe
+        )
+        source.finish_migration_out(pod)
+
+        def restore(new_pid, target_aesm):
+            # The key binds to the probe's platform id; rebind the
+            # restore-side AESM to it (one platform, one container).
+            assert target.node.driver is not None
+            return self.migrations.restore(
+                target.node.driver, new_pid, checkpoint, key, target_probe
+            )
+
+        admission = target.admit_migrated(pod, restore)
+        if not admission.success:
+            pod.mark_failed(
+                now, admission.failure_reason or "migration failed"
+            )
+            raise OrchestrationError(
+                f"migration of {pod.name} to {target_node_name} failed: "
+                f"{admission.failure_reason}"
+            )
+        pod.mark_migrated(target_node_name)
+        # Downtime: state transfer (enclave bytes over 1 Gbit/s) plus
+        # the target-side rebuild the admission already measured.
+        transfer_seconds = checkpoint.size_bytes / 125_000_000
+        return transfer_seconds + admission.startup_seconds
+
+    def kill_pod(self, pod: Pod, now: float, reason: str) -> None:
+        """Forcibly terminate a pod (any non-terminal phase)."""
+        if pod in self.queue:
+            self.queue.remove(pod)
+        if pod.node_name is not None:
+            self._kubelet_of(pod).terminate(pod)
+        pod.mark_failed(now, reason)
+
+    def _kubelet_of(self, pod: Pod) -> Kubelet:
+        if pod.node_name is None:
+            raise OrchestrationError(f"pod {pod.name} is not bound")
+        return self.kubelets[pod.node_name]
+
+    # -- reporting ------------------------------------------------------------
+
+    def pending_epc_pages(self) -> int:
+        """EPC pages requested by queued pods (Fig. 7's y-axis)."""
+        return self.queue.total_requested_epc_pages()
+
+    def pods_by_phase(self) -> Dict[str, List[Pod]]:
+        """All pods grouped by phase value (reporting convenience)."""
+        grouped: Dict[str, List[Pod]] = {}
+        for pod in self.all_pods:
+            grouped.setdefault(pod.phase.value, []).append(pod)
+        return grouped

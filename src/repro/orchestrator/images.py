@@ -1,0 +1,138 @@
+"""Container images, registries and per-node image caches.
+
+Fig. 2's workflow starts with the user naming a container image that
+"is initially pulled from a public or private container registry", and
+Section V-F describes the paper's base image (``sebvaucher/sgx-base``)
+bundling the Intel SDK/PSW so SGX applications run unmodified in
+Docker.
+
+This module models the pull path: a registry serves named images, each
+node keeps a cache, and the first pull of an image on a node costs
+transfer time proportional to the image size over the cluster's 1 Gbit/s
+network (Section VI-A).  Cached pulls are free — exactly the behaviour
+that makes repeated trace jobs cheap after their first placement on a
+node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ..errors import OrchestrationError
+from ..units import mib
+
+#: The testbed's network: 1 Gbit/s switched (Section VI-A), in bytes/s.
+NETWORK_BYTES_PER_SECOND = 125_000_000
+
+#: The paper's base image with SDK + PSW; a realistic compressed size.
+SGX_BASE_IMAGE = "sebvaucher/sgx-base"
+SGX_BASE_IMAGE_BYTES = mib(390)
+
+
+class ImagePullError(OrchestrationError):
+    """The registry does not serve the requested image."""
+
+
+@dataclass(frozen=True)
+class ContainerImage:
+    """One image: name, size, and whether it bundles the SGX PSW."""
+
+    name: str
+    size_bytes: int
+    has_sgx_psw: bool = False
+
+    def __post_init__(self):
+        if not self.name:
+            raise OrchestrationError("image name must be non-empty")
+        if self.size_bytes <= 0:
+            raise OrchestrationError(
+                f"image size must be positive: {self.size_bytes}"
+            )
+
+
+class ImageRegistry:
+    """A public or private registry serving images by name."""
+
+    def __init__(self, name: str = "docker.io"):
+        self.name = name
+        self._images: Dict[str, ContainerImage] = {}
+        self.pull_count = 0
+
+    def push(self, image: ContainerImage) -> None:
+        """Publish (or overwrite) an image."""
+        self._images[image.name] = image
+
+    def resolve(self, name: str) -> ContainerImage:
+        """Look an image up; raises :class:`ImagePullError` if absent."""
+        image = self._images.get(name)
+        if image is None:
+            raise ImagePullError(
+                f"image {name!r} not found in registry {self.name!r}"
+            )
+        return image
+
+    def serve_pull(self, name: str) -> ContainerImage:
+        """Serve one pull (counts traffic for reporting)."""
+        image = self.resolve(name)
+        self.pull_count += 1
+        return image
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._images
+
+    @classmethod
+    def with_paper_images(cls) -> "ImageRegistry":
+        """A registry pre-loaded with the paper's base image plus the
+        stock images its introduction name-drops."""
+        registry = cls()
+        registry.push(
+            ContainerImage(
+                SGX_BASE_IMAGE, SGX_BASE_IMAGE_BYTES, has_sgx_psw=True
+            )
+        )
+        for name, size in (
+            ("redis", mib(35)),
+            ("apache", mib(55)),
+            ("mysql", mib(150)),
+            ("consul", mib(45)),
+        ):
+            registry.push(ContainerImage(name, size))
+        return registry
+
+
+@dataclass
+class NodeImageCache:
+    """The images already present on one node."""
+
+    node_name: str
+    bandwidth_bytes_per_second: float = NETWORK_BYTES_PER_SECOND
+    _cached: Set[str] = field(default_factory=set)
+
+    def has(self, name: str) -> bool:
+        """Whether a pull would hit the cache."""
+        return name in self._cached
+
+    def pull(self, registry: ImageRegistry, name: str) -> float:
+        """Ensure *name* is present; returns the pull latency in seconds.
+
+        A cache hit is free; a miss transfers the image over the
+        cluster network and caches it.
+        """
+        if name in self._cached:
+            return 0.0
+        image = registry.serve_pull(name)
+        self._cached.add(name)
+        return image.size_bytes / self.bandwidth_bytes_per_second
+
+    def evict(self, name: str) -> bool:
+        """Drop an image from the cache (image GC); returns whether hit."""
+        if name in self._cached:
+            self._cached.remove(name)
+            return True
+        return False
+
+    @property
+    def cached_images(self) -> Set[str]:
+        """Names of cached images."""
+        return set(self._cached)

@@ -1,0 +1,373 @@
+"""Kubelet: the per-node agent.
+
+On pod admission the Kubelet reproduces the paper's node-side pipeline
+(Sections V-A, V-D):
+
+1. create the pod's cgroup *before* any container starts — the cgroup
+   path doubles as the pod identifier for the driver;
+2. communicate the pod's advertised EPC page limit to the SGX driver via
+   the new ioctl (the 16 lines of Go + 22 of C in the paper's Kubelet
+   patch);
+3. mount ``/dev/isgx`` into pods that requested EPC items and start the
+   container: boot the per-container PSW, create the enclave — committing
+   the workload's *actual* EPC pages, which is where under-declared
+   malicious pods get caught — and EINIT it through the driver, which
+   applies the limit check;
+4. report per-pod measured usage to the monitoring layer (it is both a
+   Heapster source and the probe's cgroup-to-pod resolver).
+
+The Kubelet deals only in *actual* usage; declared requests matter to the
+scheduler, not to the node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..cluster.node import Node
+from ..errors import (
+    EnclaveLimitExceededError,
+    EpcExhaustedError,
+    NodeError,
+)
+from ..sgx.aesm import PlatformSoftware
+from ..sgx.enclave import Enclave
+from ..sgx.perf import SgxPerfModel
+from ..units import pages_to_bytes
+from .api import SGX_EPC_RESOURCE
+from ..monitoring.heapster import PodUsage
+from .device_plugin import DevicePluginRegistry
+from .images import ImageRegistry, NodeImageCache
+from .pod import Pod
+from .rpc import RpcServer
+
+
+@dataclass
+class AdmissionResult:
+    """Outcome of launching a pod on a node."""
+
+    success: bool
+    startup_seconds: float = 0.0
+    failure_reason: Optional[str] = None
+    #: Whether the failure is transient (requeue) rather than a policy
+    #: kill (limit enforcement) or a permanent misfit.
+    retryable: bool = False
+
+
+@dataclass
+class _PodRecord:
+    """Node-local state of one admitted pod."""
+
+    pod: Pod
+    cgroup_path: str
+    pid: Optional[int] = None
+    enclave: Optional[Enclave] = None
+    psw: Optional[PlatformSoftware] = None
+
+
+class Kubelet:
+    """Node agent: admission, container launch, usage reporting."""
+
+    def __init__(
+        self,
+        node: Node,
+        perf_model: Optional[SgxPerfModel] = None,
+        enforce_memory_limits: bool = False,
+        registry: Optional[ImageRegistry] = None,
+    ):
+        self.node = node
+        self.perf_model = perf_model or SgxPerfModel()
+        self.enforce_memory_limits = enforce_memory_limits
+        self.registry = registry
+        self.image_cache = NodeImageCache(node_name=node.name)
+        self.devices = DevicePluginRegistry()
+        self.rpc_server = RpcServer(f"kubelet@{node.name}")
+        self.rpc_server.register_method(
+            "RegisterDevicePlugin", self.devices.register
+        )
+        self._records: Dict[str, _PodRecord] = {}
+
+    # -- control-plane queries -------------------------------------------------
+
+    @property
+    def pod_count(self) -> int:
+        """Pods currently admitted on this node."""
+        return len(self._records)
+
+    def admitted_pods(self) -> List[Pod]:
+        """Pods currently admitted on this node, oldest first."""
+        return [record.pod for record in self._records.values()]
+
+    def committed_requests(self):
+        """Sum of declared requests of admitted pods (scheduler's ledger)."""
+        from ..cluster.resources import ResourceVector
+
+        total = ResourceVector.zero()
+        for record in self._records.values():
+            total = total + record.pod.spec.resources.requests
+        return total
+
+    def advertised_epc_pages(self) -> int:
+        """EPC page items advertised by the device plugin (0 if none)."""
+        return self.devices.capacity(SGX_EPC_RESOURCE)
+
+    # -- pod lifecycle ----------------------------------------------------------
+
+    def admit(self, pod: Pod) -> AdmissionResult:
+        """Launch *pod* on this node; returns the startup outcome.
+
+        The caller (orchestrator) has already bound the pod; admission
+        failures here surface as immediate pod kills, exactly like the
+        paper's "immediately killed after launch" over-allocators.
+        """
+        if pod.uid in self._records:
+            raise NodeError(f"pod {pod.name} already admitted on {self.node.name}")
+        workload = pod.spec.workload
+        if workload is None:
+            raise NodeError(f"pod {pod.name} has no workload profile")
+
+        cgroup_path = self.node.cgroups.create_pod_cgroup(pod.uid)
+        pod.cgroup_path = cgroup_path
+        record = _PodRecord(pod=pod, cgroup_path=cgroup_path)
+        self._records[pod.uid] = record
+
+        # Relay the EPC limit to the driver before containers start.
+        limits = pod.spec.resources.effective_limits
+        if self.node.driver is not None and limits.epc_pages > 0:
+            self.node.driver.ioctl(
+                0xA1,  # IOCTL_SET_POD_LIMIT; numeric like real user space
+                cgroup_path=cgroup_path,
+                limit_pages=limits.epc_pages,
+            )
+
+        # cgroup memory limit (stock Kubernetes behaviour, optional here
+        # because the paper's trace runs declare requests only).
+        if (
+            self.enforce_memory_limits
+            and limits.memory_bytes > 0
+            and workload.memory_bytes > limits.memory_bytes
+        ):
+            self._teardown(record)
+            return AdmissionResult(
+                success=False,
+                failure_reason="OOMKilled: memory limit exceeded",
+            )
+
+        # Pull the image first (Fig. 2: fetched from a registry); a
+        # cache hit — every placement after a node's first — is free.
+        pull_seconds = 0.0
+        if self.registry is not None:
+            pull_seconds = self.image_cache.pull(
+                self.registry, pod.spec.image
+            )
+
+        record.pid = self.node.spawn_process(
+            cgroup_path, memory_bytes=workload.memory_bytes
+        )
+
+        if not workload.uses_sgx:
+            startup = self.perf_model.standard_startup()
+            return AdmissionResult(
+                success=True,
+                startup_seconds=pull_seconds + startup.total_seconds,
+            )
+        result = self._launch_sgx(record)
+        if result.success:
+            result.startup_seconds += pull_seconds
+        return result
+
+    def _launch_sgx(self, record: _PodRecord) -> AdmissionResult:
+        """SGX container launch: PSW boot, ECREATE, limit-checked EINIT."""
+        pod = record.pod
+        workload = pod.spec.workload
+        assert workload is not None and record.pid is not None
+        if self.node.driver is None:
+            self._teardown(record)
+            return AdmissionResult(
+                success=False,
+                failure_reason="SGX workload on a node without /dev/isgx",
+            )
+        psw = PlatformSoftware(container_id=pod.uid)
+        psw_seconds = psw.boot()
+        record.psw = psw
+        epc_bytes = pages_to_bytes(workload.epc_pages)
+        dynamic = self.node.driver.sgx_version >= 2
+        try:
+            enclave = self.node.driver.create_enclave(
+                record.pid, size_bytes=epc_bytes, dynamic=dynamic
+            )
+        except EpcExhaustedError as exc:
+            self._teardown(record)
+            return AdmissionResult(
+                success=False,
+                failure_reason=f"enclave creation failed: {exc}",
+                retryable=True,
+            )
+        try:
+            self.node.driver.initialize_enclave(
+                record.pid, enclave, psw.aesm
+            )
+        except EnclaveLimitExceededError as exc:
+            self._teardown(record)
+            return AdmissionResult(
+                success=False,
+                failure_reason=f"EPC limit enforcement: {exc}",
+            )
+        record.enclave = enclave
+        alloc_seconds = self.perf_model.allocation_seconds(epc_bytes)
+        return AdmissionResult(
+            success=True, startup_seconds=psw_seconds + alloc_seconds
+        )
+
+    def grow_pod_epc(self, pod: Pod, extra_pages: int) -> int:
+        """Grow a running SGX 2 pod's enclave by *extra_pages* (EAUG).
+
+        Routes through the driver so the ported per-pod limit check of
+        Section VI-G applies.  Returns pages added; raises
+        :class:`~repro.errors.DriverError` on SGX 1 nodes and
+        :class:`~repro.errors.EnclaveLimitExceededError` past the limit.
+        """
+        record = self._require_record(pod)
+        if self.node.driver is None or record.enclave is None:
+            raise NodeError(f"pod {pod.name} has no enclave to grow")
+        return self.node.driver.grow_enclave(
+            record.pid, record.enclave, pages_to_bytes(extra_pages)
+        )
+
+    def shrink_pod_epc(self, pod: Pod, fewer_pages: int) -> int:
+        """Shrink a running SGX 2 pod's enclave (EREMOVE); returns pages."""
+        record = self._require_record(pod)
+        if self.node.driver is None or record.enclave is None:
+            raise NodeError(f"pod {pod.name} has no enclave to shrink")
+        return self.node.driver.shrink_enclave(
+            record.pid, record.enclave, pages_to_bytes(fewer_pages)
+        )
+
+    def _require_record(self, pod: Pod) -> "_PodRecord":
+        record = self._records.get(pod.uid)
+        if record is None:
+            raise NodeError(
+                f"pod {pod.name} is not admitted on {self.node.name}"
+            )
+        return record
+
+    # -- live migration (the paper's future-work extension) ------------
+
+    def begin_migration(self, pod: Pod):
+        """Expose the node-local handles the migration manager needs.
+
+        Returns ``(pid, enclave, aesm)`` for the pod's container; the
+        caller checkpoints through the driver (which self-destroys the
+        enclave) and must then call :meth:`finish_migration_out`.
+        """
+        record = self._require_record(pod)
+        if record.enclave is None or record.psw is None:
+            raise NodeError(f"pod {pod.name} has no enclave to migrate")
+        if record.pid is None:
+            raise NodeError(f"pod {pod.name} has no process")
+        return record.pid, record.enclave, record.psw.aesm
+
+    def finish_migration_out(self, pod: Pod) -> None:
+        """Tear down the source-side container after a checkpoint."""
+        self.terminate(pod)
+
+    def admit_migrated(self, pod: Pod, restore) -> AdmissionResult:
+        """Admit a migrated pod, restoring its enclave via *restore*.
+
+        *restore* is a callable ``(pid, aesm) -> enclave`` supplied by
+        the orchestrator, closing over the migration manager, the
+        checkpoint and the key; it runs inside this node's context so
+        the restored enclave lands in this node's EPC.
+        """
+        if pod.uid in self._records:
+            raise NodeError(
+                f"pod {pod.name} already admitted on {self.node.name}"
+            )
+        workload = pod.spec.workload
+        if workload is None:
+            raise NodeError(f"pod {pod.name} has no workload profile")
+        cgroup_path = self.node.cgroups.create_pod_cgroup(pod.uid)
+        pod.cgroup_path = cgroup_path
+        record = _PodRecord(pod=pod, cgroup_path=cgroup_path)
+        self._records[pod.uid] = record
+        limits = pod.spec.resources.effective_limits
+        if self.node.driver is not None and limits.epc_pages > 0:
+            self.node.driver.ioctl(
+                0xA1,
+                cgroup_path=cgroup_path,
+                limit_pages=limits.epc_pages,
+            )
+        record.pid = self.node.spawn_process(
+            cgroup_path, memory_bytes=workload.memory_bytes
+        )
+        psw = PlatformSoftware(container_id=pod.uid)
+        psw_seconds = psw.boot()
+        record.psw = psw
+        try:
+            record.enclave = restore(record.pid, psw.aesm)
+        except EpcExhaustedError as exc:
+            self._teardown(record)
+            return AdmissionResult(
+                success=False,
+                failure_reason=f"migration restore failed: {exc}",
+                retryable=True,
+            )
+        alloc_seconds = self.perf_model.allocation_seconds(
+            pages_to_bytes(record.enclave.pages)
+        )
+        return AdmissionResult(
+            success=True, startup_seconds=psw_seconds + alloc_seconds
+        )
+
+    def terminate(self, pod: Pod) -> None:
+        """Tear a pod down (normal completion or kill). Idempotent."""
+        record = self._records.pop(pod.uid, None)
+        if record is None:
+            return
+        self._teardown(record)
+
+    def _teardown(self, record: _PodRecord) -> None:
+        if record.pid is not None:
+            self.node.kill_process(record.pid)  # destroys enclaves too
+            record.pid = None
+        if record.psw is not None:
+            record.psw.shutdown()
+            record.psw = None
+        if self.node.driver is not None:
+            self.node.driver.clear_pod(record.cgroup_path)
+        if self.node.cgroups.exists(record.cgroup_path):
+            self.node.cgroups.remove(record.cgroup_path)
+        self._records.pop(record.pod.uid, None)
+
+    # -- monitoring interfaces ---------------------------------------------------
+
+    def pod_memory_usage(self) -> List[PodUsage]:
+        """Per-pod standard memory, for the Heapster collector."""
+        usage = []
+        for record in self._records.values():
+            if record.pid is None:
+                continue
+            usage.append(
+                PodUsage(
+                    pod_name=record.pod.name,
+                    node_name=self.node.name,
+                    value=float(
+                        self.node.cgroup_memory_bytes(record.cgroup_path)
+                    ),
+                )
+            )
+        return usage
+
+    def resolve_pod_name(self, cgroup_path: str) -> Optional[str]:
+        """Map a cgroup path back to a pod name, for the SGX probe."""
+        for record in self._records.values():
+            if record.cgroup_path == cgroup_path:
+                return record.pod.name
+        return None
+
+    def epc_overcommit_ratio(self) -> float:
+        """The node's current EPC over-commit ratio (1.0 when healthy)."""
+        if self.node.epc is None:
+            return 1.0
+        return self.node.epc.overcommit_ratio()

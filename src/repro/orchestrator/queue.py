@@ -1,0 +1,76 @@
+"""Persistent FCFS pending queue.
+
+Section IV: "The orchestrator keeps a persistent queue of pending jobs;
+the scheduler periodically checks for the possibility to schedule some of
+them, applying a first-come first-served (FCFS) priority."
+
+Jobs are iterated oldest-first.  Like the Kubernetes scheduler the paper
+extends non-preemptively, a job that cannot currently be placed does not
+block younger jobs from being attempted (no head-of-line blocking), but
+priority remains FCFS: every pass considers older jobs first.  A strict
+variant is available for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional
+
+from ..errors import OrchestrationError
+from .pod import Pod
+
+
+class PendingQueue:
+    """FIFO of pending pods, keyed by uid for O(1) removal."""
+
+    def __init__(self):
+        self._pods: "OrderedDict[str, Pod]" = OrderedDict()
+
+    def push(self, pod: Pod) -> None:
+        """Enqueue a newly submitted pod at the tail."""
+        if pod.uid in self._pods:
+            raise OrchestrationError(
+                f"pod {pod.name} (uid {pod.uid}) already queued"
+            )
+        self._pods[pod.uid] = pod
+
+    def remove(self, pod: Pod) -> None:
+        """Remove a pod (scheduled or rejected)."""
+        if pod.uid not in self._pods:
+            raise OrchestrationError(
+                f"pod {pod.name} (uid {pod.uid}) is not queued"
+            )
+        del self._pods[pod.uid]
+
+    def __contains__(self, pod: Pod) -> bool:
+        return pod.uid in self._pods
+
+    def __len__(self) -> int:
+        return len(self._pods)
+
+    def __iter__(self) -> Iterator[Pod]:
+        """Oldest-first iteration over a snapshot of the queue."""
+        return iter(list(self._pods.values()))
+
+    def peek(self) -> Optional[Pod]:
+        """The oldest pending pod, or ``None``."""
+        for pod in self._pods.values():
+            return pod
+        return None
+
+    def snapshot(self) -> List[Pod]:
+        """Oldest-first list copy."""
+        return list(self._pods.values())
+
+    def total_requested_epc_pages(self) -> int:
+        """Sum of EPC pages requested by queued pods (Fig. 7's y-axis)."""
+        return sum(
+            pod.spec.resources.requests.epc_pages for pod in self._pods.values()
+        )
+
+    def total_requested_memory_bytes(self) -> int:
+        """Sum of standard memory requested by queued pods."""
+        return sum(
+            pod.spec.resources.requests.memory_bytes
+            for pod in self._pods.values()
+        )

@@ -1,0 +1,58 @@
+"""In-process gRPC-like channel.
+
+Kubelet and device plugins talk gRPC in the real system (Section V-A).
+We model the transport as named-method dispatch with explicit
+registration, connection state and error mapping, so the architectural
+seam is preserved (plugins cannot poke Kubelet internals; they can only
+call registered methods) while staying in-process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from ..errors import RpcError
+
+Handler = Callable[..., Any]
+
+
+class RpcServer:
+    """A service endpoint exposing named methods."""
+
+    def __init__(self, service_name: str):
+        self.service_name = service_name
+        self._handlers: Dict[str, Handler] = {}
+        self._serving = True
+
+    def register_method(self, name: str, handler: Handler) -> None:
+        """Expose *handler* as RPC method *name*."""
+        if name in self._handlers:
+            raise RpcError(
+                f"{self.service_name}: method {name!r} already registered"
+            )
+        self._handlers[name] = handler
+
+    def stop(self) -> None:
+        """Stop serving; subsequent calls fail as UNAVAILABLE."""
+        self._serving = False
+
+    def _dispatch(self, method: str, kwargs: Dict[str, Any]) -> Any:
+        if not self._serving:
+            raise RpcError(f"{self.service_name}: UNAVAILABLE")
+        handler = self._handlers.get(method)
+        if handler is None:
+            raise RpcError(
+                f"{self.service_name}: UNIMPLEMENTED method {method!r}"
+            )
+        return handler(**kwargs)
+
+
+class RpcChannel:
+    """A client connection to one :class:`RpcServer`."""
+
+    def __init__(self, server: RpcServer):
+        self._server = server
+
+    def call(self, method: str, **kwargs: Any) -> Any:
+        """Invoke *method* on the remote end."""
+        return self._server._dispatch(method, kwargs)

@@ -1,0 +1,267 @@
+"""Scheduler framework: node views, measured-usage snapshots, FCFS pass.
+
+The pieces every strategy shares:
+
+* :class:`NodeView` — the scheduler's picture of one node: capacity,
+  *measured* usage (from the TSDB) and *committed* declared requests.
+* :class:`ClusterStateService` — builds node views by running the
+  paper's sliding-window InfluxQL queries (Listing 1's inner query shape)
+  against the monitoring database, falling back to declared requests for
+  pods too young to have samples.
+* :class:`Scheduler` — the non-preemptive FCFS scheduling pass shared by
+  all strategies; concrete strategies implement :meth:`Scheduler._select`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster.resources import ResourceVector
+from ..constants import METRICS_WINDOW_SECONDS
+from ..errors import SchedulingError
+from ..monitoring.influxql import execute_query, parse_query
+from ..monitoring.heapster import MEASUREMENT_MEMORY
+from ..monitoring.probe import MEASUREMENT_EPC
+from ..orchestrator.kubelet import Kubelet
+from ..orchestrator.pod import Pod
+from .filtering import can_ever_fit, feasible_nodes, prefer_non_sgx
+
+
+@dataclass
+class NodeView:
+    """The scheduler's view of one node at pass time.
+
+    ``used`` reflects measured usage plus in-pass reservations; the
+    strategies mutate it via :meth:`reserve` as they assign pods so one
+    pass never double-books a node.
+    """
+
+    name: str
+    sgx_capable: bool
+    capacity: ResourceVector
+    used: ResourceVector = field(default_factory=ResourceVector.zero)
+    committed: ResourceVector = field(default_factory=ResourceVector.zero)
+
+    @property
+    def available(self) -> ResourceVector:
+        """Capacity minus used, floored at zero."""
+        return (self.capacity - self.used).clamp_floor()
+
+    @property
+    def load(self) -> float:
+        """Scalar node load: the dominant utilisation across dimensions.
+
+        Ignores dimensions the node does not have (EPC on standard
+        nodes), so heterogeneous nodes compare sensibly.
+        """
+        ratios = [
+            ratio
+            for ratio in self.used.utilization_of(self.capacity).values()
+            if ratio != float("inf")
+        ]
+        return max(ratios) if ratios else 0.0
+
+    def reserve(self, requests: ResourceVector) -> None:
+        """Account an in-pass assignment against this node."""
+        self.used = self.used + requests
+        self.committed = self.committed + requests
+
+    def load_after(self, requests: ResourceVector) -> float:
+        """The load this node would have after placing *requests*."""
+        hypothetical = NodeView(
+            name=self.name,
+            sgx_capable=self.sgx_capable,
+            capacity=self.capacity,
+            used=self.used + requests,
+            committed=self.committed,
+        )
+        return hypothetical.load
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One scheduling decision: pod onto node."""
+
+    pod: Pod
+    node_name: str
+
+
+@dataclass
+class SchedulingOutcome:
+    """Everything one scheduling pass decided."""
+
+    assignments: List[Assignment] = field(default_factory=list)
+    #: Pods that can never fit any node and should be rejected.
+    unschedulable: List[Pod] = field(default_factory=list)
+    #: Pods left pending this pass (no room right now).
+    deferred: List[Pod] = field(default_factory=list)
+
+
+#: Inner query of the paper's Listing 1, parameterised by measurement:
+#: the per-pod maximum over the sliding window, tagged by node.
+_PER_POD_QUERY = (
+    'SELECT MAX(value) AS usage FROM "{measurement}" '
+    "WHERE value <> 0 AND time >= now() - {window}s "
+    "GROUP BY pod_name, nodename"
+)
+
+
+class ClusterStateService:
+    """Builds :class:`NodeView` snapshots from Kubelets plus the TSDB."""
+
+    def __init__(
+        self,
+        kubelets: Sequence[Kubelet],
+        db,
+        window_seconds: float = METRICS_WINDOW_SECONDS,
+    ):
+        self.kubelets = list(kubelets)
+        self.db = db
+        self.window_seconds = window_seconds
+        self._epc_query = parse_query(
+            _PER_POD_QUERY.format(
+                measurement=MEASUREMENT_EPC, window=window_seconds
+            )
+        )
+        self._memory_query = parse_query(
+            _PER_POD_QUERY.format(
+                measurement=MEASUREMENT_MEMORY, window=window_seconds
+            )
+        )
+
+    def _measured_usage(self, now: float) -> Dict[Tuple[str, str], ResourceVector]:
+        """Per (node, pod) measured usage from the sliding-window queries."""
+        measured: Dict[Tuple[str, str], ResourceVector] = {}
+        for row in execute_query(self._memory_query, self.db, now):
+            key = (row.get("nodename"), row.get("pod_name"))
+            vector = measured.get(key, ResourceVector.zero())
+            measured[key] = vector + ResourceVector(
+                memory_bytes=int(row.get("usage", 0.0))
+            )
+        for row in execute_query(self._epc_query, self.db, now):
+            key = (row.get("nodename"), row.get("pod_name"))
+            vector = measured.get(key, ResourceVector.zero())
+            measured[key] = vector + ResourceVector(
+                epc_pages=int(row.get("usage", 0.0))
+            )
+        return measured
+
+    def build_views(self, now: float) -> List[NodeView]:
+        """One :class:`NodeView` per node, in Kubelet registration order.
+
+        Each admitted pod contributes its measured usage when the window
+        holds a sample for it, and its declared requests otherwise (pods
+        younger than one probe period would be invisible to a purely
+        measured view — this is the reservation that prevents stampedes
+        between a bind and its first sample).
+        """
+        measured = self._measured_usage(now)
+        views: List[NodeView] = []
+        for kubelet in self.kubelets:
+            node = kubelet.node
+            used = ResourceVector.zero()
+            for pod in kubelet.admitted_pods():
+                key = (node.name, pod.name)
+                sample = measured.get(key)
+                if sample is not None:
+                    # CPU is not measured; carry the declared value.
+                    used = used + ResourceVector(
+                        cpu_millicores=pod.spec.resources.requests.cpu_millicores,
+                        memory_bytes=sample.memory_bytes,
+                        epc_pages=sample.epc_pages,
+                    )
+                else:
+                    used = used + pod.spec.resources.requests
+            views.append(
+                NodeView(
+                    name=node.name,
+                    sgx_capable=kubelet.advertised_epc_pages() > 0,
+                    capacity=node.capacity,
+                    used=used,
+                    committed=kubelet.committed_requests(),
+                )
+            )
+        return views
+
+
+class Scheduler(abc.ABC):
+    """Shared FCFS scheduling pass; strategies pick the node.
+
+    Parameters
+    ----------
+    use_measured:
+        When ``True`` (the paper's system), feasibility is judged against
+        the measured view; when ``False``, against declared commitments
+        only (the Kubernetes-default baseline and an ablation toggle).
+    strict_fcfs:
+        When ``True``, a pod that cannot be placed blocks all younger
+        pods (head-of-line blocking).  Defaults to the Kubernetes-like
+        behaviour of skipping unschedulable pods while keeping FCFS
+        *priority*.
+    preserve_sgx_nodes:
+        The paper's node-preservation rule: standard jobs only land on
+        SGX nodes when no other node fits (Section IV).  Exposed as a
+        toggle for the ablation benchmark.
+    """
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        use_measured: bool = True,
+        strict_fcfs: bool = False,
+        preserve_sgx_nodes: bool = True,
+    ):
+        self.use_measured = use_measured
+        self.strict_fcfs = strict_fcfs
+        self.preserve_sgx_nodes = preserve_sgx_nodes
+
+    def schedule(
+        self, pending: Sequence[Pod], views: Sequence[NodeView], now: float
+    ) -> SchedulingOutcome:
+        """Run one pass over *pending* (oldest first) against *views*."""
+        outcome = SchedulingOutcome()
+        views = list(views)
+        if not self.use_measured:
+            for view in views:
+                view.used = view.committed
+        for pod in pending:
+            if not can_ever_fit(pod, views):
+                outcome.unschedulable.append(pod)
+                continue
+            candidates, _ = feasible_nodes(pod, views)
+            if self.preserve_sgx_nodes:
+                candidates = prefer_non_sgx(pod, candidates)
+            if not candidates:
+                outcome.deferred.append(pod)
+                if self.strict_fcfs:
+                    remaining = list(pending)
+                    tail = remaining[remaining.index(pod) + 1:]
+                    outcome.deferred.extend(tail)
+                    break
+                continue
+            chosen = self._select(pod, candidates, views)
+            if chosen is None:
+                outcome.deferred.append(pod)
+                continue
+            if not pod.spec.resources.requests.fits_within(chosen.available):
+                raise SchedulingError(
+                    f"{self.name} selected saturated node {chosen.name} "
+                    f"for pod {pod.name}"
+                )
+            chosen.reserve(pod.spec.resources.requests)
+            outcome.assignments.append(
+                Assignment(pod=pod, node_name=chosen.name)
+            )
+        return outcome
+
+    @abc.abstractmethod
+    def _select(
+        self,
+        pod: Pod,
+        candidates: Sequence[NodeView],
+        views: Sequence[NodeView],
+    ) -> Optional[NodeView]:
+        """Pick one of *candidates* for *pod*; ``None`` defers the pod."""

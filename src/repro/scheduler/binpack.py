@@ -1,0 +1,45 @@
+"""Binpack placement strategy.
+
+Section IV: "When binpack is in use, the scheduler always tries to fit as
+many jobs as possible on the same node.  As soon as its resources become
+insufficient, the scheduler advances to the next node in the pool.  The
+order of the nodes stays consistent by always sorting them in the same
+way.  In the case of a standard job, we sort SGX-enabled nodes at the end
+of this list, to preserve their resources for SGX-enabled jobs."
+
+The strategy is therefore first-fit over a fixed node order; the
+``prefer_non_sgx`` step in the base pass already guarantees SGX nodes are
+only touched by standard jobs when nothing else fits, and the sort here
+keeps the order consistent within each group.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..orchestrator.pod import Pod
+from .base import NodeView, Scheduler
+
+
+class BinpackScheduler(Scheduler):
+    """First-fit over a consistent node order, SGX nodes sorted last."""
+
+    name = "sgx-aware-binpack"
+
+    def _select(
+        self,
+        pod: Pod,
+        candidates: Sequence[NodeView],
+        views: Sequence[NodeView],
+    ) -> Optional[NodeView]:
+        ordered = sorted(
+            candidates,
+            key=lambda view: (
+                view.sgx_capable if self.preserve_sgx_nodes else False,
+                view.name,
+            ),
+        )
+        for view in ordered:
+            if pod.spec.resources.requests.fits_within(view.available):
+                return view
+        return None

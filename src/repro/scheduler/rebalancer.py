@@ -1,0 +1,156 @@
+"""EPC contention rebalancer: migration put to scheduling use.
+
+Section V-E motivates the per-process EPC ioctl with exactly this:
+"This metric is helpful to identify processes that should be preempted
+and possibly migrated, a feature especially useful in scenarios of high
+contention."  The conclusion then lists enclave migration as planned
+future work.  This module closes the loop: it watches for over-
+committed EPCs (which the paging model punishes with up to 1000x
+slowdowns), picks victim pods off the contended node using the driver's
+per-process occupancy metric, and live-migrates them to the SGX node
+with the most free pages.
+
+The rebalancer is deliberately conservative: it only acts on over-
+committed nodes, only moves a pod when the whole enclave fits in the
+target's *free* pages, and moves the smallest enclaves first (cheapest
+transfer, highest chance of fitting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import OrchestrationError
+from ..orchestrator.controller import Orchestrator
+from ..orchestrator.pod import Pod
+
+
+@dataclass(frozen=True)
+class MigrationAction:
+    """One executed rebalancing migration."""
+
+    pod_name: str
+    source_node: str
+    target_node: str
+    pages_moved: int
+    downtime_seconds: float
+
+
+@dataclass
+class RebalanceReport:
+    """What one rebalancing pass did."""
+
+    actions: List[MigrationAction] = field(default_factory=list)
+    #: Nodes that were over-committed but could not be relieved.
+    unrelieved_nodes: List[str] = field(default_factory=list)
+
+
+class EpcRebalancer:
+    """Relieves over-committed EPCs by migrating the smallest enclaves.
+
+    Parameters
+    ----------
+    orchestrator:
+        The control plane to act on.
+    max_migrations_per_pass:
+        Safety valve against migration storms.
+    """
+
+    def __init__(
+        self,
+        orchestrator: Orchestrator,
+        max_migrations_per_pass: int = 4,
+    ):
+        self.orchestrator = orchestrator
+        self.max_migrations_per_pass = max_migrations_per_pass
+
+    # -- observation -------------------------------------------------------
+
+    def overcommitted_nodes(self) -> List[str]:
+        """SGX nodes whose EPC allocations exceed the usable pages."""
+        names = []
+        for node in self.orchestrator.cluster.sgx_nodes:
+            assert node.epc is not None
+            if node.epc.overcommitted:
+                names.append(node.name)
+        return names
+
+    def _victims(self, node_name: str) -> List[Pod]:
+        """Running enclave pods on *node_name*, smallest enclave first.
+
+        Uses the driver's per-process occupancy ioctl — the paper's
+        stated mechanism for identifying migration candidates.
+        """
+        kubelet = self.orchestrator.kubelets[node_name]
+        driver = kubelet.node.driver
+        assert driver is not None
+        candidates = []
+        for pod in kubelet.admitted_pods():
+            if not pod.requires_sgx and not (
+                pod.spec.workload and pod.spec.workload.uses_sgx
+            ):
+                continue
+            if pod.phase.value != "Running":
+                continue
+            record = kubelet._records.get(pod.uid)
+            if record is None or record.pid is None:
+                continue
+            pages = driver.process_epc_pages(record.pid)
+            if pages > 0:
+                candidates.append((pages, pod))
+        candidates.sort(key=lambda item: (item[0], item[1].uid))
+        return [pod for _, pod in candidates]
+
+    def _best_target(self, pages_needed: int, exclude: str) -> Optional[str]:
+        """The SGX node with the most free pages that can host the move."""
+        best_name = None
+        best_free = -1
+        for node in self.orchestrator.cluster.sgx_nodes:
+            if node.name == exclude:
+                continue
+            free = node.free_epc_pages()
+            if free >= pages_needed and free > best_free:
+                best_free = free
+                best_name = node.name
+        return best_name
+
+    # -- action ------------------------------------------------------------
+
+    def rebalance(self, now: float) -> RebalanceReport:
+        """One pass: relieve every over-committed node if possible."""
+        report = RebalanceReport()
+        budget = self.max_migrations_per_pass
+        for node_name in self.overcommitted_nodes():
+            node = self.orchestrator.cluster.node(node_name)
+            assert node.epc is not None
+            relieved = False
+            for pod in self._victims(node_name):
+                if budget <= 0 or not node.epc.overcommitted:
+                    break
+                assert pod.spec.workload is not None
+                pages = pod.spec.workload.epc_pages
+                target = self._best_target(pages, exclude=node_name)
+                if target is None:
+                    continue
+                try:
+                    downtime = self.orchestrator.migrate_pod(
+                        pod, target, now
+                    )
+                except OrchestrationError:
+                    continue
+                budget -= 1
+                relieved = True
+                report.actions.append(
+                    MigrationAction(
+                        pod_name=pod.name,
+                        source_node=node_name,
+                        target_node=target,
+                        pages_moved=pages,
+                        downtime_seconds=downtime,
+                    )
+                )
+                node.epc.rebalance_residency()
+            if node.epc.overcommitted and not relieved:
+                report.unrelieved_nodes.append(node_name)
+        return report

@@ -1,0 +1,59 @@
+"""Spread placement strategy.
+
+Section IV: "the main goal of the spread strategy is to even out the load
+across all nodes.  It works by choosing job-node combinations that yield
+the smallest standard deviation of load across the nodes.  Like binpack,
+it only resorts to SGX-enabled nodes for non-SGX jobs when no other
+choice is possible."
+
+Node load is the dominant utilisation ratio across the dimensions the
+node possesses (see :attr:`~repro.scheduler.base.NodeView.load`), which
+makes heterogeneous machines comparable: a standard node is as loaded as
+its busiest dimension, an SGX node additionally counts its EPC.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from ..orchestrator.pod import Pod
+from .base import NodeView, Scheduler
+
+
+def _stddev(values: List[float]) -> float:
+    """Population standard deviation (the metric the paper minimises)."""
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    return math.sqrt(sum((v - mean) ** 2 for v in values) / len(values))
+
+
+class SpreadScheduler(Scheduler):
+    """Minimise the standard deviation of node loads after placement."""
+
+    name = "sgx-aware-spread"
+
+    def _select(
+        self,
+        pod: Pod,
+        candidates: Sequence[NodeView],
+        views: Sequence[NodeView],
+    ) -> Optional[NodeView]:
+        requests = pod.spec.resources.requests
+        best: Optional[NodeView] = None
+        best_key = None
+        for candidate in candidates:
+            loads = [
+                candidate.load_after(requests)
+                if view is candidate
+                else view.load
+                for view in views
+            ]
+            # Tie-break deterministically: prefer non-SGX, then by name,
+            # so runs are reproducible across dict orderings.
+            key = (_stddev(loads), candidate.sgx_capable, candidate.name)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = candidate
+        return best

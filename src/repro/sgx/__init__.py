@@ -1,0 +1,41 @@
+"""SGX substrate: EPC accounting, enclave lifecycle, driver and AESM models.
+
+This package replaces the Intel SGX hardware and kernel driver that the
+paper's system runs on.  It reproduces the *observable* behaviour the
+orchestrator depends on:
+
+* page-granular EPC accounting with a 93.5 MiB usable / 128 MiB total split
+  (:mod:`repro.sgx.epc`);
+* the measured startup latency model of Fig. 6 (:mod:`repro.sgx.perf`);
+* the enclave lifecycle — ECREATE, EADD, EINIT via launch token, ecall —
+  (:mod:`repro.sgx.enclave`, :mod:`repro.sgx.aesm`);
+* the patched ``isgx`` driver interface: occupancy counters exposed as
+  module parameters, per-process and per-cgroup ioctls, and denial of
+  enclave initialisation past the pod's advertised limit
+  (:mod:`repro.sgx.driver`).
+"""
+
+from .epc import EpcAllocation, EnclavePageCache
+from .perf import SgxPerfModel, StartupBreakdown
+from .enclave import Enclave, EnclaveState
+from .aesm import AesmService, LaunchToken, PlatformSoftware
+from .driver import (
+    IOCTL_GET_EPC_USAGE,
+    IOCTL_SET_POD_LIMIT,
+    SgxDriver,
+)
+
+__all__ = [
+    "AesmService",
+    "Enclave",
+    "EnclavePageCache",
+    "EnclaveState",
+    "EpcAllocation",
+    "IOCTL_GET_EPC_USAGE",
+    "IOCTL_SET_POD_LIMIT",
+    "LaunchToken",
+    "PlatformSoftware",
+    "SgxDriver",
+    "SgxPerfModel",
+    "StartupBreakdown",
+]

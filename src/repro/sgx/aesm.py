@@ -1,0 +1,143 @@
+"""AESM / Platform Software (PSW) model.
+
+Applications built with the Intel SDK rely on the Platform Software, whose
+Application Enclave Service Manager (AESM) brokers access to the
+architectural enclaves: the Launch Enclave (LE) that mints launch tokens,
+the Quoting Enclave (QE) used for remote attestation and the Provisioning
+Enclave (PE).  Section VI-D notes that, because containers stay isolated,
+*each container runs its own PSW instance* and therefore pays the ~100 ms
+service startup once.
+
+This module models the parts the orchestrator can observe: token minting
+(required before ``EINIT``), quote generation (so examples can demonstrate
+attestation flows) and the startup latency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from ..constants import PSW_STARTUP_SECONDS
+from ..errors import LaunchTokenError
+
+
+@dataclass(frozen=True)
+class LaunchToken:
+    """An EINITTOKEN minted by the Launch Enclave for a specific enclave."""
+
+    token_id: int
+    enclave_measurement: str
+    signer: str
+
+    def matches(self, measurement: str) -> bool:
+        """Whether this token authorises the enclave with *measurement*."""
+        return self.enclave_measurement == measurement
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A remote-attestation quote binding a measurement to a report body."""
+
+    enclave_measurement: str
+    report_data: str
+    platform_id: str
+
+    @property
+    def digest(self) -> str:
+        """Stable digest a verifier would check against expected values."""
+        payload = (
+            f"{self.enclave_measurement}|{self.report_data}|"
+            f"{self.platform_id}"
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class AesmService:
+    """The per-container AESM daemon.
+
+    A stopped service refuses all requests; callers must account for
+    :attr:`startup_seconds` before the first token can be fetched, which
+    is exactly the PSW cost measured in Fig. 6.
+    """
+
+    def __init__(
+        self,
+        platform_id: str = "sgx-platform",
+        startup_seconds: float = PSW_STARTUP_SECONDS,
+    ):
+        self.platform_id = platform_id
+        self.startup_seconds = startup_seconds
+        self._running = False
+        self._token_ids = itertools.count(1)
+
+    @property
+    def running(self) -> bool:
+        """Whether the service has completed startup."""
+        return self._running
+
+    def start(self) -> float:
+        """Start the service; returns the startup latency to account for."""
+        self._running = True
+        return self.startup_seconds
+
+    def stop(self) -> None:
+        """Stop the service (container teardown)."""
+        self._running = False
+
+    def get_launch_token(
+        self, enclave_measurement: str, signer: str
+    ) -> LaunchToken:
+        """Fetch an EINITTOKEN from the Launch Enclave.
+
+        Raises
+        ------
+        LaunchTokenError
+            If the service is not running or the measurement is empty.
+        """
+        if not self._running:
+            raise LaunchTokenError("AESM service is not running")
+        if not enclave_measurement:
+            raise LaunchTokenError("empty enclave measurement")
+        return LaunchToken(
+            token_id=next(self._token_ids),
+            enclave_measurement=enclave_measurement,
+            signer=signer,
+        )
+
+    def get_quote(
+        self, enclave_measurement: str, report_data: str = ""
+    ) -> Quote:
+        """Produce a quote via the Quoting Enclave."""
+        if not self._running:
+            raise LaunchTokenError("AESM service is not running")
+        return Quote(
+            enclave_measurement=enclave_measurement,
+            report_data=report_data,
+            platform_id=self.platform_id,
+        )
+
+
+class PlatformSoftware:
+    """Bundle of the PSW pieces a container ships: AESM plus SDK glue.
+
+    The orchestrator's base Docker image (Section V-F) packages this; the
+    model simply tracks one AESM per container and exposes the aggregate
+    startup latency.
+    """
+
+    def __init__(self, container_id: str, platform_id: Optional[str] = None):
+        self.container_id = container_id
+        self.aesm = AesmService(
+            platform_id=platform_id or f"platform-{container_id}"
+        )
+
+    def boot(self) -> float:
+        """Boot the PSW inside the container; returns startup seconds."""
+        return self.aesm.start()
+
+    def shutdown(self) -> None:
+        """Tear the PSW down with the container."""
+        self.aesm.stop()

@@ -1,0 +1,149 @@
+"""Enclave lifecycle state machine.
+
+Mirrors the SGX 1 execution flow described in Section II and Fig. 1 of the
+paper: the untrusted part of an application *creates* an enclave
+(``ECREATE``), commits **all** of its protected memory up front (``EADD``,
+required so the memory is covered by the attestation measurement),
+*initialises* it with a launch token (``EINIT``) and only then may issue
+``ecall``s through the call gate.  Teardown releases every EPC page.
+
+The driver model (:mod:`repro.sgx.driver`) hooks enclave initialisation to
+enforce per-pod EPC limits, exactly where the paper's 115-line kernel patch
+sits (``__sgx_encl_init``).
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import itertools
+from typing import Optional
+
+from ..errors import EnclaveStateError, LaunchTokenError
+from ..units import pages as bytes_to_pages
+from .aesm import LaunchToken
+from .epc import EnclavePageCache, EpcAllocation
+
+
+class EnclaveState(enum.Enum):
+    """Lifecycle states of an enclave."""
+
+    CREATED = "created"        # ECREATE done, memory committed
+    INITIALIZED = "initialized"  # EINIT done, ecalls allowed
+    DESTROYED = "destroyed"    # EPC pages released
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Enclave:
+    """One SGX enclave owned by a process inside a pod.
+
+    Parameters
+    ----------
+    owner:
+        Accounting label — the pod's cgroup path in the orchestrator, so
+        driver-side limit checks can attribute pages to pods.
+    epc:
+        The node's :class:`~repro.sgx.epc.EnclavePageCache`.
+    size_bytes:
+        Protected memory committed at build time.  SGX 1 requires the full
+        allocation here; attempting to grow later raises.
+    signer:
+        Identity of the enclave's signing key (for launch-token checks).
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        owner: str,
+        epc: EnclavePageCache,
+        size_bytes: int,
+        signer: str = "vendor",
+    ):
+        if size_bytes <= 0:
+            raise EnclaveStateError(
+                f"enclave size must be positive, got {size_bytes}"
+            )
+        self.enclave_id = next(Enclave._ids)
+        self.owner = owner
+        self.signer = signer
+        self.size_bytes = size_bytes
+        self.pages = bytes_to_pages(size_bytes)
+        self._epc = epc
+        # ECREATE + EADD: commit all protected memory immediately.  This
+        # may raise EpcExhaustedError in strict mode — the caller (the
+        # node's container runtime) decides how to surface that.
+        self._allocation: Optional[EpcAllocation] = epc.allocate(
+            owner, self.pages
+        )
+        self.state = EnclaveState.CREATED
+        self._ecall_count = 0
+
+    @property
+    def measurement(self) -> str:
+        """MRENCLAVE-like digest of the enclave's identity and size."""
+        payload = f"{self.signer}|{self.size_bytes}"
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    @property
+    def ecall_count(self) -> int:
+        """Number of trusted calls executed so far."""
+        return self._ecall_count
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def initialize(self, token: LaunchToken) -> None:
+        """EINIT: validate the launch token and enter the initialized state.
+
+        The driver wraps this call to apply the per-pod limit check; see
+        :meth:`repro.sgx.driver.SgxDriver.initialize_enclave`.
+        """
+        if self.state is not EnclaveState.CREATED:
+            raise EnclaveStateError(
+                f"cannot EINIT enclave in state {self.state}"
+            )
+        if not token.matches(self.measurement):
+            raise LaunchTokenError(
+                "launch token does not match enclave measurement"
+            )
+        self.state = EnclaveState.INITIALIZED
+
+    def ecall(self, function: str = "trusted_fn") -> str:
+        """Enter the enclave through the call gate and run *function*.
+
+        Returns a result token; raises unless the enclave is initialized.
+        """
+        if self.state is not EnclaveState.INITIALIZED:
+            raise EnclaveStateError(
+                f"ecall into enclave in state {self.state}"
+            )
+        self._ecall_count += 1
+        return f"ok:{function}:{self._ecall_count}"
+
+    def grow(self, extra_bytes: int) -> None:
+        """SGX 1 forbids growing an enclave after creation.
+
+        Always raises; exists so workloads that *attempt* dynamic memory
+        (an SGX 2 feature, Section VI-G) fail in the documented way.
+        """
+        raise EnclaveStateError(
+            "SGX 1 enclaves cannot grow after ECREATE "
+            f"(requested +{extra_bytes} bytes); this requires SGX 2 EDMM"
+        )
+
+    def destroy(self) -> None:
+        """Release all EPC pages.  Idempotent."""
+        if self.state is EnclaveState.DESTROYED:
+            return
+        if self._allocation is not None:
+            self._epc.release(self._allocation)
+            self._allocation = None
+        self.state = EnclaveState.DESTROYED
+
+    def __repr__(self) -> str:
+        return (
+            f"Enclave(id={self.enclave_id}, owner={self.owner!r}, "
+            f"pages={self.pages}, state={self.state})"
+        )

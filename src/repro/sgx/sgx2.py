@@ -1,0 +1,98 @@
+"""SGX 2: dynamic EPC memory management (EDMM).
+
+Section VI-G of the paper looks ahead to SGX 2, whose "most important
+feature ... is dynamic EPC memory allocation.  Enclaves can ask the
+operating system for the allocation of new memory pages, and may also
+release pages they own", at runtime rather than only at build time.
+The authors argue their scheduler works out of the box — it already
+tracks *measured* EPC usage — and that only the driver-side limit
+enforcement needs a modest port.
+
+This module implements that future: :class:`Sgx2Enclave` supports
+post-EINIT growth (EAUG/EACCEPT) and shrinking (EMODT/EREMOVE), and the
+driver hooks in :mod:`repro.sgx.driver` port the per-pod limit check to
+the growth path, denying EAUG that would push a pod past its advertised
+limit — the very port the paper estimates as "modest".
+
+A second SGX 2 benefit also falls out: enclaves no longer pay the
+build-time cost of their *peak* allocation, only of their initial one;
+later growth is accounted page-wise as it happens.
+"""
+
+from __future__ import annotations
+
+from ..errors import EnclaveStateError
+from ..units import pages as bytes_to_pages
+from .enclave import Enclave, EnclaveState
+from .epc import EnclavePageCache
+
+
+class Sgx2Enclave(Enclave):
+    """An enclave on SGX 2 hardware: resizable after initialisation.
+
+    Construction commits only the *initial* size; :meth:`grow` and
+    :meth:`shrink` adjust protected memory at runtime.  Growth is only
+    legal once the enclave is initialized (EDMM operates from inside a
+    running enclave via EACCEPT), matching the architecture.
+    """
+
+    def __init__(
+        self,
+        owner: str,
+        epc: EnclavePageCache,
+        size_bytes: int,
+        signer: str = "vendor",
+    ):
+        super().__init__(
+            owner=owner, epc=epc, size_bytes=size_bytes, signer=signer
+        )
+        self.sgx_version = 2
+
+    def grow(self, extra_bytes: int) -> int:
+        """EAUG + EACCEPT: add protected pages at runtime.
+
+        Returns the number of pages added.  Raises
+        :class:`~repro.errors.EnclaveStateError` outside the initialized
+        state and :class:`~repro.errors.EpcExhaustedError` when the node
+        runs strict accounting and the pages do not fit.
+        """
+        if extra_bytes <= 0:
+            raise EnclaveStateError(
+                f"growth must be positive, got {extra_bytes}"
+            )
+        if self.state is not EnclaveState.INITIALIZED:
+            raise EnclaveStateError(
+                f"EDMM growth requires an initialized enclave, "
+                f"state is {self.state}"
+            )
+        assert self._allocation is not None
+        extra_pages = bytes_to_pages(extra_bytes)
+        self._allocation = self._epc.grow_allocation(
+            self._allocation, extra_pages
+        )
+        self.pages += extra_pages
+        self.size_bytes += extra_bytes
+        return extra_pages
+
+    def shrink(self, fewer_bytes: int) -> int:
+        """EMODT + EREMOVE: return protected pages to the pool.
+
+        Returns the number of pages released.
+        """
+        if fewer_bytes <= 0:
+            raise EnclaveStateError(
+                f"shrink must be positive, got {fewer_bytes}"
+            )
+        if self.state is not EnclaveState.INITIALIZED:
+            raise EnclaveStateError(
+                f"EDMM shrink requires an initialized enclave, "
+                f"state is {self.state}"
+            )
+        assert self._allocation is not None
+        fewer_pages = bytes_to_pages(fewer_bytes)
+        self._allocation = self._epc.shrink_allocation(
+            self._allocation, fewer_pages
+        )
+        self.pages -= fewer_pages
+        self.size_bytes -= fewer_bytes
+        return fewer_pages

@@ -1,0 +1,28 @@
+"""Discrete-event simulation of the cluster and control plane.
+
+The paper's Fig. 7 experiment is itself a simulation that "uses the exact
+same algorithms and behaves in the same way as our concrete scheduler";
+this package generalises that: the *entire* evaluation replays through
+:func:`repro.simulation.runner.replay_trace`, driving the real
+orchestrator, schedulers and SGX substrate with a deterministic event
+loop instead of wall-clock daemons.
+"""
+
+from .engine import EventHandle, SimulationEngine
+from .events import EventKind, EventLog, LoggedEvent
+from .metrics import ReplayMetrics, QueueSample
+from .runner import ReplayConfig, ReplayResult, replay_trace, make_scheduler
+
+__all__ = [
+    "EventHandle",
+    "EventKind",
+    "EventLog",
+    "LoggedEvent",
+    "QueueSample",
+    "ReplayConfig",
+    "ReplayMetrics",
+    "ReplayResult",
+    "SimulationEngine",
+    "make_scheduler",
+    "replay_trace",
+]

@@ -1,0 +1,153 @@
+"""Replay metrics: the quantities the paper's figures report.
+
+Collected during a replay and summarised afterwards:
+
+* waiting times (Figs. 8, 9, 11) — submission to start;
+* turnaround times (Fig. 10) — submission to termination;
+* the pending-queue series (Fig. 7) — total EPC/memory requested by
+  queued pods over time;
+* makespan — batch completion time, Fig. 7's headline per EPC size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..orchestrator.api import PodPhase
+from ..orchestrator.pod import Pod
+from ..trace.stats import confidence_interval_95, mean
+from ..units import pages_to_mib
+
+
+@dataclass(frozen=True)
+class QueueSample:
+    """Pending-queue state at one scheduling pass."""
+
+    time: float
+    queued_pods: int
+    pending_epc_pages: int
+    pending_memory_bytes: int
+
+    @property
+    def pending_epc_mib(self) -> float:
+        """Fig. 7's y-axis: MiB of EPC requested by pending pods."""
+        return pages_to_mib(self.pending_epc_pages)
+
+
+@dataclass
+class ReplayMetrics:
+    """Everything measured during one replay."""
+
+    pods: List[Pod] = field(default_factory=list)
+    queue_series: List[QueueSample] = field(default_factory=list)
+    makespan_seconds: float = 0.0
+
+    # -- selections --------------------------------------------------------
+
+    def pods_in_phase(self, phase: PodPhase) -> List[Pod]:
+        """Pods that ended the replay in *phase*."""
+        return [p for p in self.pods if p.phase is phase]
+
+    @property
+    def succeeded(self) -> List[Pod]:
+        """Pods that ran to completion."""
+        return self.pods_in_phase(PodPhase.SUCCEEDED)
+
+    @property
+    def failed(self) -> List[Pod]:
+        """Pods killed or rejected."""
+        return self.pods_in_phase(PodPhase.FAILED)
+
+    def sgx_pods(self) -> List[Pod]:
+        """Pods that required SGX placement."""
+        return [p for p in self.pods if p.requires_sgx]
+
+    def standard_pods(self) -> List[Pod]:
+        """Pods placeable anywhere."""
+        return [p for p in self.pods if not p.requires_sgx]
+
+    # -- the paper's metrics --------------------------------------------------
+
+    def waiting_times(
+        self, pods: Optional[Sequence[Pod]] = None
+    ) -> List[float]:
+        """Waiting times of started pods (Figs. 8, 9, 11)."""
+        pool = self.succeeded if pods is None else pods
+        return [
+            p.waiting_seconds
+            for p in pool
+            if p.waiting_seconds is not None
+        ]
+
+    def turnaround_times(
+        self, pods: Optional[Sequence[Pod]] = None
+    ) -> List[float]:
+        """Turnaround times of completed pods (Fig. 10)."""
+        pool = self.succeeded if pods is None else pods
+        return [
+            p.turnaround_seconds
+            for p in pool
+            if p.turnaround_seconds is not None
+        ]
+
+    def total_turnaround_hours(self) -> float:
+        """Sum of turnarounds in hours — Fig. 10's bars."""
+        return sum(self.turnaround_times()) / 3600.0
+
+    def mean_waiting_seconds(self) -> float:
+        """Average waiting time over completed pods."""
+        times = self.waiting_times()
+        return mean(times) if times else 0.0
+
+    def max_waiting_seconds(self) -> float:
+        """The longest wait (Fig. 8 quotes 4696 s for the all-SGX run)."""
+        times = self.waiting_times()
+        return max(times) if times else 0.0
+
+    def waiting_by_memory_bin(
+        self, bin_count: int = 6, sgx: bool = False
+    ) -> List[Dict[str, float]]:
+        """Fig. 9's series: average wait per requested-memory bin.
+
+        Bins the *declared* request (EPC pages for SGX pods, bytes for
+        standard pods) into *bin_count* equal-width bins and reports the
+        mean waiting time and its 95 % confidence half-width per bin.
+        """
+        pool = [
+            p
+            for p in self.succeeded
+            if p.requires_sgx == sgx and p.waiting_seconds is not None
+        ]
+        if not pool:
+            return []
+
+        def request_of(pod: Pod) -> float:
+            requests = pod.spec.resources.requests
+            return float(
+                requests.epc_pages if sgx else requests.memory_bytes
+            )
+
+        largest = max(request_of(p) for p in pool)
+        if largest == 0:
+            return []
+        width = largest / bin_count
+        bins: List[List[float]] = [[] for _ in range(bin_count)]
+        for pod in pool:
+            index = min(int(request_of(pod) / width), bin_count - 1)
+            bins[index].append(pod.waiting_seconds)  # type: ignore[arg-type]
+        rows = []
+        for index, waits in enumerate(bins):
+            if not waits:
+                continue
+            avg, half = confidence_interval_95(waits)
+            rows.append(
+                {
+                    "bin_low": index * width,
+                    "bin_high": (index + 1) * width,
+                    "mean_wait": avg,
+                    "ci95": half,
+                    "count": float(len(waits)),
+                }
+            )
+        return rows

@@ -1,0 +1,440 @@
+"""End-to-end trace replay: the paper's evaluation harness in simulation.
+
+Drives the *real* control plane — orchestrator, schedulers, device
+plugins, probes, driver — with a deterministic event loop:
+
+* submissions fire at the trace's timestamps;
+* probes push metrics every ``metrics_period`` seconds;
+* the scheduler runs every ``scheduler_period`` seconds over the
+  persistent FCFS queue;
+* launched pods start after their measured startup latency (PSW boot +
+  EPC allocation, Fig. 6's model) and run for their trace duration —
+  stretched by the EPC paging slowdown while their node is over-
+  committed (only possible when limit enforcement is off, Fig. 11).
+
+The progress of a running enclave job is tracked as *remaining work*:
+whenever a node's EPC occupancy changes, work done so far is banked at
+the old rate and the finish event is rescheduled at the new rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster.topology import paper_cluster
+from ..constants import (
+    EPC_TOTAL_BYTES,
+    METRICS_PUSH_PERIOD_SECONDS,
+    SCHEDULER_PERIOD_SECONDS,
+)
+from ..errors import SimulationError
+from ..orchestrator.controller import Orchestrator
+from ..orchestrator.pod import Pod
+from ..scheduler.base import Scheduler
+from ..scheduler.binpack import BinpackScheduler
+from ..scheduler.kube_default import KubeDefaultScheduler
+from ..scheduler.rebalancer import EpcRebalancer
+from ..scheduler.spread import SpreadScheduler
+from ..sgx.perf import SgxPerfModel
+from ..trace.schema import Trace
+from ..workload.malicious import MaliciousConfig, malicious_submissions
+from ..workload.stress import SubmissionPlan, materialize_trace
+from .engine import EventHandle, SimulationEngine
+from .events import EventKind, EventLog
+from .metrics import QueueSample, ReplayMetrics
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Parameters of one replay experiment."""
+
+    scheduler: str = "binpack"  # binpack | spread | kube-default
+    sgx_fraction: float = 0.0
+    seed: int = 0
+    epc_total_bytes: int = EPC_TOTAL_BYTES
+    #: Figs. 8-10 run on the stock driver: no per-pod limits, paging
+    #: allowed.  Fig. 11's "limits enabled" runs flip both switches.
+    enforce_epc_limits: bool = False
+    epc_allow_overcommit: bool = True
+    scheduler_period: float = SCHEDULER_PERIOD_SECONDS
+    metrics_period: float = METRICS_PUSH_PERIOD_SECONDS
+    use_measured: bool = True
+    strict_fcfs: bool = False
+    preserve_sgx_nodes: bool = True
+    malicious: Optional[MaliciousConfig] = None
+    #: Period of the EPC contention rebalancer (Sec. V-E's migration
+    #: use case); ``None`` disables it, as in the paper's evaluation.
+    rebalance_period: Optional[float] = None
+    #: Failure injection: (time, node_name) crashes.  Running pods on
+    #: the crashed node are lost and resubmitted by the controller; the
+    #: node leaves the cluster (its probe is reaped).
+    node_failures: Sequence[Tuple[float, str]] = ()
+    #: Hard stop; generous because small EPC sizes drain slowly (Fig. 7).
+    max_sim_seconds: float = 48 * 3600.0
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one replay."""
+
+    config: ReplayConfig
+    metrics: ReplayMetrics
+    log: EventLog
+    orchestrator: Orchestrator
+    plans: List[SubmissionPlan] = field(default_factory=list)
+    #: Live migrations executed by the rebalancer (0 when disabled).
+    migration_count: int = 0
+
+
+def make_scheduler(config: ReplayConfig) -> Scheduler:
+    """Instantiate the strategy named by *config*."""
+    if config.scheduler == "binpack":
+        return BinpackScheduler(
+            use_measured=config.use_measured,
+            strict_fcfs=config.strict_fcfs,
+            preserve_sgx_nodes=config.preserve_sgx_nodes,
+        )
+    if config.scheduler == "spread":
+        return SpreadScheduler(
+            use_measured=config.use_measured,
+            strict_fcfs=config.strict_fcfs,
+            preserve_sgx_nodes=config.preserve_sgx_nodes,
+        )
+    if config.scheduler == "kube-default":
+        return KubeDefaultScheduler(strict_fcfs=config.strict_fcfs)
+    raise SimulationError(f"unknown scheduler {config.scheduler!r}")
+
+
+class _RunningJob:
+    """Progress tracking for one started pod."""
+
+    __slots__ = (
+        "pod",
+        "node_name",
+        "remaining_work",
+        "last_update",
+        "rate",
+        "finish_handle",
+    )
+
+    def __init__(self, pod: Pod, node_name: str, work_seconds: float):
+        self.pod = pod
+        self.node_name = node_name
+        self.remaining_work = work_seconds
+        self.last_update = 0.0
+        self.rate = 1.0
+        self.finish_handle: Optional[EventHandle] = None
+
+
+class _Replay:
+    """One replay in flight; see :func:`replay_trace`."""
+
+    def __init__(self, trace: Trace, config: ReplayConfig):
+        self.config = config
+        self.trace = trace
+        self.cluster = paper_cluster(
+            epc_total_bytes=config.epc_total_bytes,
+            enforce_epc_limits=config.enforce_epc_limits,
+            epc_allow_overcommit=config.epc_allow_overcommit,
+        )
+        self.perf = SgxPerfModel()
+        self.orchestrator = Orchestrator(self.cluster, perf_model=self.perf)
+        self.scheduler = make_scheduler(config)
+        self.engine = SimulationEngine()
+        self.log = EventLog()
+        self.running: Dict[str, _RunningJob] = {}  # pod uid -> job
+        self.unsubmitted = 0
+
+        self.plans = materialize_trace(
+            trace,
+            sgx_fraction=config.sgx_fraction,
+            seed=config.seed,
+            scheduler_name=self.scheduler.name,
+        )
+        if config.malicious is not None:
+            self.plans = (
+                malicious_submissions(
+                    self.cluster,
+                    config.malicious,
+                    scheduler_name=self.scheduler.name,
+                )
+                + self.plans
+            )
+        self.rebalancer: Optional[EpcRebalancer] = None
+        if config.rebalance_period is not None:
+            self.rebalancer = EpcRebalancer(self.orchestrator)
+        self.queue_series: List[QueueSample] = []
+        self.migration_count = 0
+
+    # -- activity tracking -------------------------------------------------
+
+    def _active(self) -> bool:
+        if self.unsubmitted > 0 or self.running:
+            return True
+        return any(
+            not pod.phase.is_terminal for pod in self.orchestrator.all_pods
+        )
+
+    # -- event handlers ------------------------------------------------------
+
+    def _submit(self, plan: SubmissionPlan) -> None:
+        now = self.engine.now
+        self.unsubmitted -= 1
+        self.orchestrator.submit(plan.spec, now)
+        self.log.record(now, EventKind.SUBMITTED, pod_name=plan.spec.name)
+
+    def _metrics_tick(self) -> None:
+        now = self.engine.now
+        self.orchestrator.collect_metrics(now)
+        self.log.record(now, EventKind.METRICS_COLLECTED)
+        if self._active():
+            self.engine.schedule_in(
+                self.config.metrics_period, self._metrics_tick
+            )
+
+    def _scheduler_tick(self) -> None:
+        now = self.engine.now
+        # Bank progress at current rates before occupancy changes.
+        self._sync_all_nodes(now)
+        result = self.orchestrator.scheduling_pass(self.scheduler, now)
+        self.log.record(now, EventKind.SCHEDULING_PASS)
+        for pod, startup_seconds in result.launched:
+            self.log.record(
+                now, EventKind.BOUND, pod_name=pod.name,
+                node_name=pod.node_name,
+            )
+            self.engine.schedule_in(
+                startup_seconds, lambda p=pod: self._start(p)
+            )
+        for pod in result.killed:
+            self.log.record(
+                now,
+                EventKind.LAUNCH_KILLED,
+                pod_name=pod.name,
+                node_name=pod.node_name,
+                detail=pod.failure_reason or "",
+            )
+        for pod in result.rejected:
+            self.log.record(
+                now,
+                EventKind.REJECTED,
+                pod_name=pod.name,
+                detail=pod.failure_reason or "",
+            )
+        for pod in result.requeued:
+            self.log.record(now, EventKind.REQUEUED, pod_name=pod.name)
+        # Admissions changed EPC occupancy; refresh running-job rates.
+        self._reschedule_all_nodes(now)
+        queue = self.orchestrator.queue
+        self.queue_series.append(
+            QueueSample(
+                time=now,
+                queued_pods=len(queue),
+                pending_epc_pages=queue.total_requested_epc_pages(),
+                pending_memory_bytes=queue.total_requested_memory_bytes(),
+            )
+        )
+        if self._active():
+            self.engine.schedule_in(
+                self.config.scheduler_period, self._scheduler_tick
+            )
+
+    def _start(self, pod: Pod) -> None:
+        now = self.engine.now
+        if pod.phase.is_terminal:
+            return  # killed between bind and start
+        self.orchestrator.start_pod(pod, now)
+        assert pod.spec.workload is not None and pod.node_name is not None
+        # Bank progress of already-running jobs on this node before the
+        # reschedule below recomputes their finish events.
+        self._sync_node(pod.node_name, now)
+        job = _RunningJob(
+            pod, pod.node_name, pod.spec.workload.duration_seconds
+        )
+        job.last_update = now
+        self.running[pod.uid] = job
+        self.log.record(
+            now, EventKind.STARTED, pod_name=pod.name, node_name=pod.node_name
+        )
+        self._reschedule_node(pod.node_name, now)
+
+    def _rebalance_tick(self) -> None:
+        now = self.engine.now
+        assert self.rebalancer is not None
+        # Bank progress before occupancy moves between nodes.
+        self._sync_all_nodes(now)
+        report = self.rebalancer.rebalance(now)
+        for action in report.actions:
+            self.migration_count += 1
+            job = next(
+                (
+                    j
+                    for j in self.running.values()
+                    if j.pod.name == action.pod_name
+                ),
+                None,
+            )
+            if job is not None:
+                job.node_name = action.target_node
+                # Downtime pauses the workload: account it as extra
+                # work at the current rate.
+                job.remaining_work += action.downtime_seconds * job.rate
+            self.log.record(
+                now,
+                EventKind.SLOWDOWN_CHANGED,
+                pod_name=action.pod_name,
+                node_name=action.target_node,
+                detail=f"migrated from {action.source_node}",
+            )
+        self._reschedule_all_nodes(now)
+        if self._active():
+            assert self.config.rebalance_period is not None
+            self.engine.schedule_in(
+                self.config.rebalance_period, self._rebalance_tick
+            )
+
+    def _crash_node(self, node_name: str) -> None:
+        now = self.engine.now
+        # Bank progress everywhere; the crashed node's jobs are lost.
+        self._sync_all_nodes(now)
+        for job in self._jobs_on(node_name):
+            if job.finish_handle is not None:
+                job.finish_handle.cancel()
+            del self.running[job.pod.uid]
+        replacements = self.orchestrator.remove_node(node_name, now)
+        for pod in replacements:
+            self.log.record(
+                now,
+                EventKind.SUBMITTED,
+                pod_name=pod.name,
+                detail=f"resubmitted after {node_name} crash",
+            )
+        self.log.record(
+            now,
+            EventKind.SLOWDOWN_CHANGED,
+            node_name=node_name,
+            detail="node crashed",
+        )
+        self._reschedule_all_nodes(now)
+
+    def _finish(self, job: _RunningJob) -> None:
+        now = self.engine.now
+        self._sync_node(job.node_name, now)
+        if job.remaining_work > 1e-6:
+            # Slowed down since this event was scheduled; reschedule.
+            self._reschedule_node(job.node_name, now)
+            return
+        del self.running[job.pod.uid]
+        self.orchestrator.complete_pod(job.pod, now)
+        self.log.record(
+            now,
+            EventKind.COMPLETED,
+            pod_name=job.pod.name,
+            node_name=job.node_name,
+        )
+        # Completion may end an over-commit episode; refresh the node.
+        self._reschedule_node(job.node_name, now)
+
+    # -- paging-slowdown bookkeeping ----------------------------------------
+
+    def _node_slowdown(self, node_name: str, uses_epc: bool) -> float:
+        if not uses_epc:
+            return 1.0
+        kubelet = self.orchestrator.kubelets[node_name]
+        return self.perf.paging_slowdown(kubelet.epc_overcommit_ratio())
+
+    def _jobs_on(self, node_name: str) -> List[_RunningJob]:
+        return [
+            job for job in self.running.values()
+            if job.node_name == node_name
+        ]
+
+    def _sync_node(self, node_name: str, now: float) -> None:
+        """Bank work done at the rates in effect since the last sync."""
+        for job in self._jobs_on(node_name):
+            elapsed = now - job.last_update
+            if elapsed > 0:
+                job.remaining_work = max(
+                    0.0, job.remaining_work - elapsed * job.rate
+                )
+            job.last_update = now
+
+    def _reschedule_node(self, node_name: str, now: float) -> None:
+        """Recompute rates and finish events after an occupancy change."""
+        for job in self._jobs_on(node_name):
+            uses_epc = (
+                job.pod.spec.workload is not None
+                and job.pod.spec.workload.uses_sgx
+            )
+            slowdown = self._node_slowdown(node_name, uses_epc)
+            new_rate = 1.0 / slowdown
+            if job.finish_handle is not None:
+                job.finish_handle.cancel()
+            job.rate = new_rate
+            eta = job.remaining_work * slowdown
+            job.finish_handle = self.engine.schedule_in(
+                eta, lambda j=job: self._finish(j)
+            )
+
+    def _sync_all_nodes(self, now: float) -> None:
+        for node in self.cluster.sgx_nodes:
+            self._sync_node(node.name, now)
+
+    def _reschedule_all_nodes(self, now: float) -> None:
+        for node in self.cluster.sgx_nodes:
+            self._reschedule_node(node.name, now)
+
+    # -- main ---------------------------------------------------------------
+
+    def run(self) -> ReplayResult:
+        self.unsubmitted = len(self.plans)
+        for plan in self.plans:
+            self.engine.schedule_at(
+                plan.submit_time, lambda p=plan: self._submit(p)
+            )
+        self.engine.schedule_at(0.0, self._metrics_tick)
+        self.engine.schedule_at(
+            self.config.scheduler_period / 2.0, self._scheduler_tick
+        )
+        if self.rebalancer is not None:
+            assert self.config.rebalance_period is not None
+            self.engine.schedule_at(
+                self.config.rebalance_period, self._rebalance_tick
+            )
+        for crash_time, node_name in self.config.node_failures:
+            self.engine.schedule_at(
+                crash_time, lambda n=node_name: self._crash_node(n)
+            )
+        self.engine.run(until=self.config.max_sim_seconds)
+        if self._active():
+            raise SimulationError(
+                "replay did not converge within "
+                f"{self.config.max_sim_seconds} simulated seconds "
+                f"({len(self.orchestrator.queue)} pods still queued)"
+            )
+        metrics = ReplayMetrics(
+            pods=list(self.orchestrator.all_pods),
+            queue_series=self.queue_series,
+            makespan_seconds=max(
+                (
+                    pod.finished_at
+                    for pod in self.orchestrator.all_pods
+                    if pod.finished_at is not None
+                ),
+                default=0.0,
+            ),
+        )
+        return ReplayResult(
+            config=self.config,
+            metrics=metrics,
+            log=self.log,
+            orchestrator=self.orchestrator,
+            plans=self.plans,
+            migration_count=self.migration_count,
+        )
+
+
+def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayResult:
+    """Replay *trace* under *config*; fully deterministic per seed."""
+    return _Replay(trace, config).run()

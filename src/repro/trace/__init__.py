@@ -1,0 +1,35 @@
+"""Google Borg trace substrate.
+
+The paper evaluates against the 2011 Google Borg trace, down-scaled along
+two dimensions (Section VI-B): a 1-hour time slice ([6480 s, 10080 s) of
+the first day) and frequency sampling (every 1200th job), yielding 663
+jobs of which 44 allocate more memory than they advertise.
+
+The public trace itself is not redistributable here, so this package
+provides both a loader for the public CSV schema
+(:mod:`repro.trace.loader`) and a calibrated synthetic generator
+(:mod:`repro.trace.borg`) reproducing the published marginals: the
+duration CDF of Fig. 4, the max-memory CDF of Fig. 3 and the concurrency
+band of Fig. 5.  All evaluation numbers in the paper are functions of
+these marginals at the scaled size, which is what the substitution
+preserves.
+"""
+
+from .schema import JobRecord, Trace
+from .borg import BorgTraceGenerator, synthetic_scaled_trace
+from .scaling import sample_stride, slice_window, renumber_from_zero
+from .stats import empirical_cdf, cdf_at
+from .loader import load_borg_csv
+
+__all__ = [
+    "BorgTraceGenerator",
+    "JobRecord",
+    "Trace",
+    "cdf_at",
+    "empirical_cdf",
+    "load_borg_csv",
+    "renumber_from_zero",
+    "sample_stride",
+    "slice_window",
+    "synthetic_scaled_trace",
+]

@@ -1,0 +1,98 @@
+"""Loader for the public Google cluster-usage trace format.
+
+The 2011 trace ships as CSV tables (Reiss et al., "Google cluster-usage
+traces: format + schema").  The paper joins the *job events* and *task
+usage* tables to extract four per-job metrics; users who have downloaded
+the public trace can produce a four-column CSV in that shape and load it
+here, then push it through :func:`repro.trace.scaling.scale_pipeline`.
+
+Expected columns (header optional, comma-separated)::
+
+    job_id, submit_time_seconds, duration_seconds,
+    assigned_memory_fraction, max_memory_fraction
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from ..errors import TraceError
+from .schema import JobRecord, Trace
+
+_COLUMNS = 5
+
+
+def load_borg_csv(path: Union[str, Path]) -> Trace:
+    """Load a prepared Borg-trace CSV into a :class:`Trace`.
+
+    Lines starting with ``#`` and a header row (detected by a non-numeric
+    first field) are skipped.  Raises :class:`~repro.errors.TraceError`
+    on malformed rows so silent data corruption cannot skew experiments.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace file not found: {path}")
+    jobs = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        for line_number, row in enumerate(reader, start=1):
+            if not row or row[0].lstrip().startswith("#"):
+                continue
+            if line_number == 1 and not _is_numeric(row[0]):
+                continue  # header
+            if len(row) != _COLUMNS:
+                raise TraceError(
+                    f"{path}:{line_number}: expected {_COLUMNS} columns, "
+                    f"got {len(row)}"
+                )
+            try:
+                jobs.append(
+                    JobRecord(
+                        job_id=int(row[0]),
+                        submit_time=float(row[1]),
+                        duration=float(row[2]),
+                        assigned_memory=float(row[3]),
+                        max_memory=float(row[4]),
+                    )
+                )
+            except (ValueError, TraceError) as exc:
+                raise TraceError(
+                    f"{path}:{line_number}: bad job record: {exc}"
+                ) from exc
+    return Trace(jobs)
+
+
+def dump_borg_csv(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a :class:`Trace` in the loadable CSV shape (round-trips)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "job_id",
+                "submit_time_seconds",
+                "duration_seconds",
+                "assigned_memory_fraction",
+                "max_memory_fraction",
+            ]
+        )
+        for job in trace:
+            writer.writerow(
+                [
+                    job.job_id,
+                    f"{job.submit_time:.6f}",
+                    f"{job.duration:.6f}",
+                    f"{job.assigned_memory:.8f}",
+                    f"{job.max_memory:.8f}",
+                ]
+            )
+
+
+def _is_numeric(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True

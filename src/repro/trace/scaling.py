@@ -1,0 +1,76 @@
+"""Trace down-scaling: the two reductions of Section VI-B.
+
+Google's cluster has ~12 500 machines; the paper's has 4 workers.  The
+trace is scaled down along two dimensions before replay:
+
+* **Time reduction** — keep only the 1-hour slice [6480 s, 10080 s) of
+  the first day (:func:`slice_window`), long enough to stabilise the
+  system because no job exceeds 300 s;
+* **Frequency reduction** — keep every 1200th job
+  (:func:`sample_stride`), leaving enough jobs to cause contention
+  without flooding the cluster.
+
+These operate on any :class:`~repro.trace.schema.Trace`, whether loaded
+from the public CSVs or synthesised.
+"""
+
+from __future__ import annotations
+
+from ..constants import (
+    TRACE_SAMPLING_STRIDE,
+    TRACE_SLICE_END_SECONDS,
+    TRACE_SLICE_START_SECONDS,
+)
+from ..errors import TraceError
+from .schema import Trace
+
+
+def slice_window(
+    trace: Trace,
+    start_seconds: float = TRACE_SLICE_START_SECONDS,
+    end_seconds: float = TRACE_SLICE_END_SECONDS,
+) -> Trace:
+    """Jobs *submitted* within ``[start, end)``, original timestamps kept."""
+    if end_seconds <= start_seconds:
+        raise TraceError(
+            f"empty window: [{start_seconds}, {end_seconds})"
+        )
+    return Trace(
+        job
+        for job in trace
+        if start_seconds <= job.submit_time < end_seconds
+    )
+
+
+def sample_stride(
+    trace: Trace, stride: int = TRACE_SAMPLING_STRIDE, offset: int = 0
+) -> Trace:
+    """Every *stride*-th job of *trace*, starting at *offset*."""
+    if stride <= 0:
+        raise TraceError(f"stride must be positive, got {stride}")
+    if offset < 0:
+        raise TraceError(f"offset must be non-negative, got {offset}")
+    return Trace(trace.jobs[offset::stride])
+
+
+def renumber_from_zero(trace: Trace) -> Trace:
+    """Shift submit times so the first submission happens at t=0."""
+    jobs = trace.jobs
+    if not jobs:
+        return Trace()
+    origin = jobs[0].submit_time
+    return Trace(job.shifted(-origin) for job in jobs)
+
+
+def scale_pipeline(
+    trace: Trace,
+    start_seconds: float = TRACE_SLICE_START_SECONDS,
+    end_seconds: float = TRACE_SLICE_END_SECONDS,
+    stride: int = TRACE_SAMPLING_STRIDE,
+) -> Trace:
+    """The paper's full pipeline: slice, stride-sample, renumber."""
+    return renumber_from_zero(
+        sample_stride(
+            slice_window(trace, start_seconds, end_seconds), stride
+        )
+    )

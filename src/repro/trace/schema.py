@@ -1,0 +1,115 @@
+"""Trace data model.
+
+A :class:`JobRecord` carries exactly the four metrics the paper extracts
+from the Borg trace (Section VI-B): submission time, duration, *assigned*
+memory (what the job declares to the orchestrator) and *maximal memory
+usage* (what it actually consumes).  Memory is expressed as a fraction of
+the largest machine in Google's cluster — the trace never discloses
+absolute values — and is mapped to bytes only at materialisation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, List
+
+from ..errors import TraceError
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job of the (scaled or full) trace."""
+
+    job_id: int
+    submit_time: float
+    duration: float
+    #: Declared memory, fraction of the reference machine (0..1).
+    assigned_memory: float
+    #: Actual peak memory, fraction of the reference machine (0..1).
+    max_memory: float
+
+    def __post_init__(self):
+        if self.submit_time < 0:
+            raise TraceError(f"job {self.job_id}: negative submit time")
+        if self.duration <= 0:
+            raise TraceError(f"job {self.job_id}: non-positive duration")
+        for name in ("assigned_memory", "max_memory"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise TraceError(
+                    f"job {self.job_id}: {name}={value} outside [0, 1]"
+                )
+
+    @property
+    def end_time(self) -> float:
+        """Submission plus useful duration (ignores queueing)."""
+        return self.submit_time + self.duration
+
+    @property
+    def overallocates(self) -> bool:
+        """Whether the job uses more memory than it advertises.
+
+        These are the 44-of-663 jobs that strict limit enforcement kills
+        immediately after launch (Section VI-F).
+        """
+        return self.max_memory > self.assigned_memory
+
+    def shifted(self, offset: float) -> "JobRecord":
+        """Copy with the submit time shifted by *offset* seconds."""
+        return replace(self, submit_time=self.submit_time + offset)
+
+
+class Trace:
+    """An ordered collection of job records."""
+
+    def __init__(self, jobs: Iterable[JobRecord] = ()):
+        self._jobs: List[JobRecord] = sorted(
+            jobs, key=lambda j: (j.submit_time, j.job_id)
+        )
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[JobRecord]:
+        return iter(self._jobs)
+
+    def __getitem__(self, index: int) -> JobRecord:
+        return self._jobs[index]
+
+    @property
+    def jobs(self) -> List[JobRecord]:
+        """All jobs, submission order."""
+        return list(self._jobs)
+
+    # -- aggregate properties ------------------------------------------------
+
+    @property
+    def span_seconds(self) -> float:
+        """Time between first submission and last job end."""
+        if not self._jobs:
+            return 0.0
+        return max(j.end_time for j in self._jobs) - self._jobs[0].submit_time
+
+    @property
+    def total_duration_seconds(self) -> float:
+        """Sum of useful durations — Fig. 10's dotted "Trace" bar."""
+        return sum(j.duration for j in self._jobs)
+
+    @property
+    def overallocator_count(self) -> int:
+        """Jobs whose actual memory exceeds the declared amount."""
+        return sum(1 for j in self._jobs if j.overallocates)
+
+    def durations(self) -> List[float]:
+        """All job durations (Fig. 4's sample)."""
+        return [j.duration for j in self._jobs]
+
+    def max_memories(self) -> List[float]:
+        """All max-memory fractions (Fig. 3's sample)."""
+        return [j.max_memory for j in self._jobs]
+
+    def concurrency_at(self, time: float) -> int:
+        """Jobs whose [submit, end) interval covers *time*."""
+        return sum(
+            1 for j in self._jobs if j.submit_time <= time < j.end_time
+        )

@@ -1,0 +1,29 @@
+"""Workload materialisation: turning trace jobs into deployable pods.
+
+The paper materialises trace jobs as containers running STRESS-SGX — a
+fork of stress-ng with an EPC stressor (Section VI-C): standard jobs use
+the virtual-memory stressor, SGX jobs the EPC stressor, each allocating
+exactly the memory the trace reports.  :mod:`repro.workload.stress`
+models those stressors; :mod:`repro.workload.malicious` builds the
+under-declaring containers of Section VI-F.
+"""
+
+from .stress import (
+    EpcStressor,
+    SubmissionPlan,
+    VmStressor,
+    materialize_trace,
+)
+from .malicious import MaliciousConfig, malicious_submissions
+from .hybrid import HybridStressor, hybrid_pod_spec
+
+__all__ = [
+    "EpcStressor",
+    "HybridStressor",
+    "MaliciousConfig",
+    "SubmissionPlan",
+    "VmStressor",
+    "hybrid_pod_spec",
+    "malicious_submissions",
+    "materialize_trace",
+]

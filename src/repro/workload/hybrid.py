@@ -1,0 +1,84 @@
+"""Hybrid trusted/untrusted workloads (the paper's future work).
+
+The conclusion plans support for "hybrid processes running trusted and
+untrusted code".  Where the paper's evaluation assumes jobs execute
+"entirely in enclaves, minus a part responsible for bootstrapping"
+(Section IV), a hybrid job keeps a substantial *untrusted* working set
+in standard memory next to its enclave — think of a database whose
+query engine is enclave-protected while its page cache is not.
+
+Scheduling-wise this is a genuinely two-dimensional bin-packing
+problem on the SGX nodes only: the enclave part pins the job to SGX
+hardware, while the untrusted part competes for those nodes' small RAM
+(8 GiB on the paper's i7 machines, versus 64 GiB on the standard
+workers).  Past a certain untrusted share, RAM — not the EPC — becomes
+the binding constraint and EPC capacity strands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TraceError
+from ..orchestrator.api import (
+    DEFAULT_SCHEDULER,
+    PodSpec,
+    ResourceRequirements,
+    WorkloadProfile,
+)
+from ..cluster.resources import ResourceVector
+from ..units import pages as bytes_to_pages
+
+
+@dataclass(frozen=True)
+class HybridStressor:
+    """A process pinning both enclave pages and untrusted RAM."""
+
+    epc_bytes: int
+    memory_bytes: int
+
+    def __post_init__(self):
+        if self.epc_bytes <= 0:
+            raise TraceError(
+                "hybrid jobs need a trusted part; use VmStressor instead"
+            )
+        if self.memory_bytes < 0:
+            raise TraceError(f"negative memory: {self.memory_bytes}")
+
+    def profile(self, duration_seconds: float) -> WorkloadProfile:
+        """The workload this stressor produces when run for *duration*."""
+        return WorkloadProfile(
+            duration_seconds=duration_seconds,
+            memory_bytes=self.memory_bytes,
+            epc_pages=bytes_to_pages(self.epc_bytes),
+        )
+
+
+def hybrid_pod_spec(
+    name: str,
+    duration_seconds: float,
+    declared_epc_bytes: int,
+    declared_memory_bytes: int,
+    scheduler_name: str = DEFAULT_SCHEDULER,
+) -> PodSpec:
+    """A pod requesting both EPC pages and standard memory.
+
+    Declared values double as the actual working set (honest hybrid
+    jobs); the scheduler must satisfy *both* dimensions on one SGX
+    node.
+    """
+    stressor = HybridStressor(
+        epc_bytes=declared_epc_bytes, memory_bytes=declared_memory_bytes
+    )
+    return PodSpec(
+        name=name,
+        resources=ResourceRequirements(
+            requests=ResourceVector(
+                memory_bytes=declared_memory_bytes,
+                epc_pages=bytes_to_pages(declared_epc_bytes),
+            )
+        ),
+        scheduler_name=scheduler_name,
+        workload=stressor.profile(duration_seconds),
+        labels={"origin": "hybrid"},
+    )

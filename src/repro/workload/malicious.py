@@ -1,0 +1,89 @@
+"""Malicious containers: the adversarial workload of Section VI-F.
+
+"The modus operandi of these containers is to declare 1 page of EPC as
+limit and request in their pod specification, but actually use way more:
+up to 50 % of the total EPC available on the machine they execute on.
+We deploy as many of them as there are SGX-enabled nodes in the
+cluster."
+
+With limit enforcement on, the driver denies their enclave at EINIT and
+they die immediately; with enforcement off, they squat EPC that honest
+pods then contend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..cluster.topology import Cluster
+from ..errors import TraceError
+from ..orchestrator.api import (
+    DEFAULT_SCHEDULER,
+    PodSpec,
+    ResourceRequirements,
+    WorkloadProfile,
+)
+from ..cluster.resources import ResourceVector
+from .stress import SubmissionPlan
+
+
+@dataclass(frozen=True)
+class MaliciousConfig:
+    """Parameters of the malicious deployment.
+
+    ``epc_occupancy`` is the fraction of a node's usable EPC each
+    malicious container actually allocates (Fig. 11 uses 25 % and 50 %).
+    ``duration_seconds`` defaults to effectively the whole experiment:
+    the squatters never leave on their own.
+    """
+
+    epc_occupancy: float = 0.5
+    declared_pages: int = 1
+    duration_seconds: float = 6 * 3600.0
+    submit_time: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 < self.epc_occupancy <= 1.0:
+            raise TraceError(
+                f"occupancy outside (0, 1]: {self.epc_occupancy}"
+            )
+        if self.declared_pages < 1:
+            raise TraceError("malicious pods must declare at least 1 page")
+
+
+def malicious_submissions(
+    cluster: Cluster,
+    config: MaliciousConfig,
+    scheduler_name: str = DEFAULT_SCHEDULER,
+) -> List[SubmissionPlan]:
+    """One malicious pod per SGX node, per the paper's deployment."""
+    plans: List[SubmissionPlan] = []
+    for index, node in enumerate(cluster.sgx_nodes):
+        assert node.epc is not None
+        actual_pages = max(
+            config.declared_pages,
+            int(node.epc.total_pages * config.epc_occupancy),
+        )
+        spec = PodSpec(
+            name=f"malicious-{index}",
+            resources=ResourceRequirements(
+                requests=ResourceVector(epc_pages=config.declared_pages)
+            ),
+            scheduler_name=scheduler_name,
+            workload=WorkloadProfile(
+                duration_seconds=config.duration_seconds,
+                memory_bytes=0,
+                epc_pages=actual_pages,
+            ),
+            labels={"origin": "malicious"},
+        )
+        plans.append(
+            SubmissionPlan(
+                submit_time=config.submit_time,
+                spec=spec,
+                job_id=-(index + 1),
+                is_sgx=True,
+            )
+        )
+    return plans

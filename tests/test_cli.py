@@ -1,0 +1,48 @@
+"""Experiment CLI."""
+
+import pytest
+
+from repro.cli import _FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_all_figures_are_commands(self):
+        parser = build_parser()
+        for name in _FIGURES:
+            args = parser.parse_args([name])
+            assert args.command == name
+
+    def test_seed_flags(self):
+        args = build_parser().parse_args(
+            ["fig7", "--trace-seed", "7", "--run-seed", "9"]
+        )
+        assert args.trace_seed == 7
+        assert args.run_seed == 9
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestExecution:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in _FIGURES:
+            assert name in out
+
+    def test_fig6_runs(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "PSW" in out
+
+    def test_fig3_runs(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "CDF" in capsys.readouterr().out
+
+    def test_fig5_respects_trace_seed(self, capsys):
+        assert main(["fig5", "--trace-seed", "5"]) == 0
+        first = capsys.readouterr().out
+        assert main(["fig5", "--trace-seed", "5"]) == 0
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,101 @@
+"""Sanity checks tying constants back to the paper's arithmetic."""
+
+import pytest
+
+from repro import constants
+from repro.units import gib, mib, pages
+
+
+class TestEpcGeometry:
+    def test_usable_pages_match_stated_count(self):
+        # Sec. II: 93.5 MiB usable == 23 936 pages of 4 KiB.
+        assert pages(constants.EPC_USABLE_BYTES) == (
+            constants.EPC_USABLE_PAGES
+        )
+
+    def test_usable_below_total(self):
+        assert constants.EPC_USABLE_BYTES < constants.EPC_TOTAL_BYTES
+
+    def test_total_is_128mib(self):
+        assert constants.EPC_TOTAL_BYTES == mib(128)
+
+
+class TestClusterArithmetic:
+    def test_memory_ratio_of_sec_vi_e(self):
+        # Sec. VI-E: 144 GiB of RAM vs 187 MiB of EPC is "almost 3
+        # orders of magnitude (788x)".
+        total_ram = (
+            2 * constants.STANDARD_NODE_MEMORY_BYTES
+            + 2 * constants.SGX_NODE_MEMORY_BYTES
+        )
+        total_epc = 2 * constants.EPC_USABLE_BYTES
+        assert total_ram == gib(144)
+        assert total_ram / total_epc == pytest.approx(788.0, rel=0.01)
+
+    def test_multiplier_ratio_of_sec_vi_e(self):
+        # "the difference between the scaling multipliers is only half
+        # of that (350x)".
+        ratio = (
+            constants.STANDARD_MEMORY_MULTIPLIER_BYTES
+            / constants.SGX_MEMORY_MULTIPLIER_BYTES
+        )
+        assert ratio == pytest.approx(350.0, rel=0.01)
+
+    def test_sgx_jobs_have_half_the_relative_memory(self):
+        # The consequence the paper draws: SGX jobs see ~2x less
+        # relative capacity, which drives Fig. 10's 2x gap.
+        capacity_ratio = (
+            2 * constants.STANDARD_NODE_MEMORY_BYTES
+            + 2 * constants.SGX_NODE_MEMORY_BYTES
+        ) / (2 * constants.EPC_USABLE_BYTES)
+        multiplier_ratio = (
+            constants.STANDARD_MEMORY_MULTIPLIER_BYTES
+            / constants.SGX_MEMORY_MULTIPLIER_BYTES
+        )
+        assert capacity_ratio / multiplier_ratio == pytest.approx(
+            2.25, rel=0.01
+        )
+
+
+class TestTraceScaling:
+    def test_slice_is_one_hour(self):
+        assert (
+            constants.TRACE_SLICE_END_SECONDS
+            - constants.TRACE_SLICE_START_SECONDS
+            == 3600
+        )
+
+    def test_overallocator_share(self):
+        # 44 of 663 jobs over-allocate (Sec. VI-F).
+        share = (
+            constants.TRACE_OVERALLOCATOR_COUNT
+            / constants.TRACE_SCALED_JOB_COUNT
+        )
+        assert 0.05 < share < 0.08
+
+
+class TestFigureTargets:
+    def test_fig7_targets_cover_all_sizes(self):
+        assert set(constants.FIG7_MAKESPAN_TARGETS) == {
+            mib(32),
+            mib(64),
+            mib(128),
+            mib(256),
+        }
+
+    def test_fig7_targets_decrease_with_epc(self):
+        spans = [
+            constants.FIG7_MAKESPAN_TARGETS[mib(s)]
+            for s in (32, 64, 128, 256)
+        ]
+        assert spans == sorted(spans, reverse=True)
+
+    def test_latency_model_constants(self):
+        assert constants.PSW_STARTUP_SECONDS == pytest.approx(0.1)
+        assert constants.EPC_ALLOC_SECONDS_PER_MIB_BELOW == pytest.approx(
+            0.0016
+        )
+        assert constants.EPC_ALLOC_SECONDS_PER_MIB_ABOVE == pytest.approx(
+            0.0045
+        )
+        assert constants.METRICS_WINDOW_SECONDS == 25.0

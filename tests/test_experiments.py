@@ -1,0 +1,189 @@
+"""Experiment drivers: fast variants of every figure."""
+
+import pytest
+
+from repro.experiments.common import format_table
+from repro.experiments.fig3_memory_cdf import format_fig3, run_fig3
+from repro.experiments.fig4_duration_cdf import format_fig4, run_fig4
+from repro.experiments.fig5_concurrency import format_fig5, run_fig5
+from repro.experiments.fig6_startup import format_fig6, run_fig6
+from repro.experiments.fig7_epc_sizes import format_fig7, run_fig7
+from repro.experiments.fig8_waiting_cdf import format_fig8, run_fig8
+from repro.experiments.fig11_limits import format_fig11, run_fig11
+from repro.trace.borg import BorgTraceGenerator
+
+
+@pytest.fixture(scope="module")
+def tiny_trace():
+    """A fast stand-in for the 663-job workload."""
+    return BorgTraceGenerator(seed=11).scaled_trace(
+        n_jobs=60, overallocators=4
+    )
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(["a", "bb"], [(1, 2.5), (10, 3.0)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.50" in text
+
+    def test_header_separator(self):
+        text = format_table(["col"], [("x",)])
+        assert "---" in text.splitlines()[1]
+
+
+class TestFig3:
+    def test_cdf_is_monotone_and_complete(self):
+        result = run_fig3(n_samples=5000)
+        shares = [share for _, share in result.points]
+        assert shares == sorted(shares)
+        assert result.max_fraction_covered == pytest.approx(100.0)
+
+    def test_most_jobs_below_a_tenth(self):
+        result = run_fig3(n_samples=5000)
+        assert result.share_below_tenth > 55.0
+
+    def test_format(self):
+        assert "CDF" in format_fig3(run_fig3(n_samples=1000))
+
+
+class TestFig4:
+    def test_all_jobs_within_cap(self):
+        result = run_fig4(n_samples=5000)
+        assert result.all_within_cap
+
+    def test_cdf_monotone(self):
+        result = run_fig4(n_samples=5000)
+        shares = [share for _, share in result.points]
+        assert shares == sorted(shares)
+
+    def test_format(self):
+        assert "duration" in format_fig4(run_fig4(n_samples=1000))
+
+
+class TestFig5:
+    def test_band_and_slice(self):
+        result = run_fig5()
+        low, high = result.band
+        assert 115_000 < low < high < 155_000
+        # The evaluation slice sits in a low-activity region.
+        assert result.slice_mean() <= result.day_mean()
+
+    def test_format_marks_slice(self):
+        assert "eval slice" in format_fig5(run_fig5(step_seconds=300.0))
+
+
+class TestFig6:
+    def test_psw_flat_at_100ms(self):
+        result = run_fig6()
+        for row in result.rows:
+            assert row.psw_mean_s == pytest.approx(0.100, rel=0.05)
+
+    def test_two_linear_trends(self):
+        result = run_fig6()
+        assert result.alloc_slope_below_knee() == pytest.approx(
+            0.0016, rel=0.10
+        )
+        assert result.alloc_slope_above_knee() == pytest.approx(
+            0.0045, rel=0.10
+        )
+
+    def test_knee_penalty_visible(self):
+        result = run_fig6()
+        at_knee = result.row_at(93.5).alloc_mean_s
+        past_knee = result.row_at(112.0).alloc_mean_s
+        assert past_knee - at_knee > 0.200
+
+    def test_format(self):
+        assert "PSW" in format_fig6(run_fig6())
+
+
+class TestFig7Small:
+    def test_makespan_monotone_in_epc(self, tiny_trace):
+        result = run_fig7(trace=tiny_trace, sizes_mib=(64, 128, 256))
+        makespans = result.makespans()
+        assert makespans[64] >= makespans[128] >= makespans[256]
+
+    def test_queue_drains(self, tiny_trace):
+        result = run_fig7(trace=tiny_trace, sizes_mib=(128,))
+        series = result.runs[128].queue_series
+        assert series[-1].pending_epc_pages == 0
+
+    def test_format(self, tiny_trace):
+        text = format_fig7(run_fig7(trace=tiny_trace, sizes_mib=(256,)))
+        assert "makespan" in text
+
+
+class TestFig8Small:
+    def test_more_sgx_means_longer_waits(self, tiny_trace):
+        result = run_fig8(trace=tiny_trace, fractions=(0.0, 1.0))
+        assert (
+            result.run_at(1.0).mean_wait >= result.run_at(0.0).mean_wait
+        )
+
+    def test_cdf_points_monotone(self, tiny_trace):
+        result = run_fig8(trace=tiny_trace, fractions=(1.0,))
+        shares = [s for _, s in result.run_at(1.0).cdf_points()]
+        assert shares == sorted(shares)
+
+    def test_format(self, tiny_trace):
+        text = format_fig8(run_fig8(trace=tiny_trace, fractions=(0.0,)))
+        assert "0% SGX" in text
+
+
+class TestFig11Small:
+    def test_enforcement_beats_squatters(self, tiny_trace):
+        result = run_fig11(trace=tiny_trace)
+        squatted = result.get("limits-disabled/50%-epc")
+        enforced = result.get("limits-enabled/50%-epc")
+        assert enforced.mean_wait <= squatted.mean_wait
+        assert enforced.killed_pods > 0
+
+    def test_format(self, tiny_trace):
+        assert "killed" in format_fig11(run_fig11(trace=tiny_trace))
+
+
+class TestFig9Small:
+    def test_sgx_waits_exceed_standard(self, tiny_trace):
+        from repro.experiments.fig9_strategies import run_fig9
+
+        result = run_fig9(trace=tiny_trace)
+        for strategy in ("binpack", "spread"):
+            sgx = result.get(strategy, sgx=True)
+            std = result.get(strategy, sgx=False)
+            assert sgx.overall_mean_wait() >= 0.0
+            assert std.overall_mean_wait() >= 0.0
+            assert sgx.bins and std.bins
+
+    def test_format(self, tiny_trace):
+        from repro.experiments.fig9_strategies import (
+            format_fig9,
+            run_fig9,
+        )
+
+        assert "request bin" in format_fig9(run_fig9(trace=tiny_trace))
+
+
+class TestFig10Small:
+    def test_trace_bar_lower_bounds_runs(self, tiny_trace):
+        from repro.experiments.fig10_turnaround import run_fig10
+
+        result = run_fig10(trace=tiny_trace)
+        for hours in result.turnaround_hours.values():
+            assert hours >= result.trace_hours
+
+    def test_ratio_helper(self, tiny_trace):
+        from repro.experiments.fig10_turnaround import run_fig10
+
+        result = run_fig10(trace=tiny_trace)
+        for strategy in ("binpack", "spread"):
+            assert result.sgx_to_standard_ratio(strategy) > 0.9
+
+    def test_format(self, tiny_trace):
+        from repro.experiments.fig10_turnaround import (
+            format_fig10,
+            run_fig10,
+        )
+
+        assert "trace" in format_fig10(run_fig10(trace=tiny_trace))

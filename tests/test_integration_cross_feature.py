@@ -1,0 +1,155 @@
+"""Cross-feature integration: images + hybrid + migration + SGX 2.
+
+Exercises feature combinations no single-module test touches, on one
+orchestrator instance — the kind of interleaving a real deployment
+produces.
+"""
+
+import pytest
+
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.topology import paper_cluster
+from repro.orchestrator.api import PodPhase, make_pod_spec
+from repro.orchestrator.controller import Orchestrator
+from repro.orchestrator.images import ImageRegistry
+from repro.scheduler.binpack import BinpackScheduler
+from repro.units import gib, mib, pages
+from repro.workload.hybrid import hybrid_pod_spec
+
+
+class TestImagesPlusMigration:
+    def test_migrated_pod_needs_no_image_repull_if_cached(self):
+        registry = ImageRegistry.with_paper_images()
+        orchestrator = Orchestrator(paper_cluster(), registry=registry)
+        scheduler = BinpackScheduler()
+
+        # Warm both SGX nodes' caches with one pod each.
+        warmers = []
+        for index in range(2):
+            warmers.append(
+                orchestrator.submit(
+                    make_pod_spec(
+                        f"warm-{index}",
+                        duration_seconds=30.0,
+                        # 60 MiB each: binpack must split them across
+                        # the two SGX nodes (2 x 60 > 93.5).
+                        declared_epc_bytes=mib(60),
+                    ),
+                    now=0.0,
+                )
+            )
+        result = orchestrator.scheduling_pass(scheduler, now=1.0)
+        assert len(result.launched) == 2
+        nodes_used = {pod.node_name for pod in warmers}
+        assert len(nodes_used) == 2  # one warmer per SGX node
+        for pod, _ in result.launched:
+            orchestrator.start_pod(pod, now=1.5)
+        pulls_after_warmup = registry.pull_count
+
+        # Free the target by completing its warmer (the image cache
+        # outlives the pod), then migrate the survivor across.
+        survivor, leaver = warmers
+        orchestrator.complete_pod(leaver, now=31.5)
+        orchestrator.migrate_pod(survivor, leaver.node_name, now=40.0)
+        assert survivor.node_name == leaver.node_name
+        assert registry.pull_count == pulls_after_warmup
+
+    def test_migration_preserves_epc_books_with_images_enabled(self):
+        registry = ImageRegistry.with_paper_images()
+        orchestrator = Orchestrator(paper_cluster(), registry=registry)
+        pod = orchestrator.submit(
+            make_pod_spec(
+                "svc", duration_seconds=600.0, declared_epc_bytes=mib(30)
+            ),
+            now=0.0,
+        )
+        orchestrator.scheduling_pass(BinpackScheduler(), now=1.0)
+        orchestrator.start_pod(pod, now=2.0)
+        source = pod.node_name
+        target = (
+            "sgx-worker-1" if source == "sgx-worker-0" else "sgx-worker-0"
+        )
+        orchestrator.migrate_pod(pod, target, now=10.0)
+        assert orchestrator.cluster.node(source).used_epc_pages() == 0
+        assert orchestrator.cluster.node(
+            target
+        ).used_epc_pages() == pages(mib(30))
+
+
+class TestHybridOnSgx2:
+    def test_hybrid_pod_grows_its_enclave_on_sgx2(self):
+        orchestrator = Orchestrator(paper_cluster(sgx_version=2))
+        pod = orchestrator.submit(
+            hybrid_pod_spec(
+                "hy",
+                duration_seconds=600.0,
+                declared_epc_bytes=mib(40),
+                declared_memory_bytes=gib(1),
+            ),
+            now=0.0,
+        )
+        orchestrator.scheduling_pass(BinpackScheduler(), now=1.0)
+        orchestrator.start_pod(pod, now=2.0)
+        kubelet = orchestrator.kubelets[pod.node_name]
+        # The hybrid workload profile committed its full 40 MiB; shrink
+        # during a quiet phase, then grow back under the declared limit.
+        kubelet.shrink_pod_epc(pod, pages(mib(20)))
+        node = orchestrator.cluster.node(pod.node_name)
+        assert node.used_epc_pages() == pages(mib(20))
+        kubelet.grow_pod_epc(pod, pages(mib(20)))
+        assert node.used_epc_pages() == pages(mib(40))
+
+    def test_hybrid_still_ram_bound_on_sgx2(self):
+        orchestrator = Orchestrator(paper_cluster(sgx_version=2))
+        scheduler = BinpackScheduler()
+        for index in range(3):
+            orchestrator.submit(
+                hybrid_pod_spec(
+                    f"hy-{index}",
+                    duration_seconds=600.0,
+                    declared_epc_bytes=mib(4),
+                    declared_memory_bytes=gib(4),
+                ),
+                now=0.0,
+            )
+        result = orchestrator.scheduling_pass(scheduler, now=1.0)
+        # Two 4 GiB pods fill one 8 GiB SGX node; the third goes to the
+        # other node — dynamic EPC does nothing for the RAM bound.
+        nodes = {a.node_name for a, _ in zip(
+            [p for p, _ in result.launched], result.launched
+        )}
+        assert len(result.launched) == 3
+        assert len(nodes) == 2
+
+
+class TestNodeLifecyclePlusEnforcement:
+    def test_replacement_node_inherits_enforcement(self):
+        orchestrator = Orchestrator(paper_cluster(enforce_epc_limits=True))
+        scheduler = BinpackScheduler()
+        orchestrator.remove_node("sgx-worker-0", now=0.0)
+        orchestrator.add_node(
+            Node(NodeSpec.sgx("sgx-worker-2", enforce_epc_limits=True))
+        )
+        liar = orchestrator.submit(
+            make_pod_spec(
+                "liar",
+                duration_seconds=60.0,
+                declared_epc_bytes=mib(1),
+                actual_epc_bytes=mib(50),
+            ),
+            now=1.0,
+        )
+        # Fill the surviving original node so the liar lands on the
+        # replacement, which must still kill it at EINIT.
+        blocker = orchestrator.submit(
+            make_pod_spec(
+                "blocker",
+                duration_seconds=600.0,
+                declared_epc_bytes=mib(90),
+            ),
+            now=0.5,
+        )
+        result = orchestrator.scheduling_pass(scheduler, now=2.0)
+        assert any(p is blocker for p, _ in result.launched)
+        assert liar in result.killed
+        assert liar.phase is PodPhase.FAILED

@@ -1,0 +1,120 @@
+"""Heapster collector and the SGX metrics probe."""
+
+import pytest
+
+from repro.monitoring.heapster import (
+    Heapster,
+    MEASUREMENT_MEMORY,
+    PodUsage,
+)
+from repro.monitoring.probe import (
+    MEASUREMENT_EPC,
+    MEASUREMENT_EPC_NODE,
+    SgxMetricsProbe,
+)
+from repro.sgx.driver import SgxDriver
+from repro.sgx.epc import EnclavePageCache
+from repro.units import mib, pages
+
+
+class StubSource:
+    """A fixed-usage Kubelet stand-in."""
+
+    def __init__(self, usages):
+        self._usages = usages
+
+    def pod_memory_usage(self):
+        return self._usages
+
+
+class TestHeapster:
+    def test_collect_writes_tagged_points(self, db):
+        heapster = Heapster(db)
+        heapster.register(
+            StubSource([PodUsage("pod-a", "node-1", 1000.0)])
+        )
+        written = heapster.collect(now=5.0)
+        assert written == 1
+        (point,) = db.scan(MEASUREMENT_MEMORY)
+        assert point.value == 1000.0
+        assert point.tag("pod_name") == "pod-a"
+        assert point.tag("nodename") == "node-1"
+
+    def test_collect_polls_all_sources(self, db):
+        heapster = Heapster(db)
+        heapster.register_all(
+            [
+                StubSource([PodUsage("a", "n1", 1.0)]),
+                StubSource([PodUsage("b", "n2", 2.0)]),
+            ]
+        )
+        assert heapster.source_count == 2
+        assert heapster.collect(now=1.0) == 2
+
+    def test_empty_sources_write_nothing(self, db):
+        heapster = Heapster(db)
+        heapster.register(StubSource([]))
+        assert heapster.collect(now=1.0) == 0
+
+
+class TestSgxProbe:
+    @pytest.fixture
+    def driver(self):
+        return SgxDriver(EnclavePageCache())
+
+    def test_probe_reports_per_pod_pages(self, db, driver):
+        driver.register_process(1, "/kubepods/burstable/podx")
+        driver.create_enclave(1, size_bytes=mib(4))
+        probe = SgxMetricsProbe(
+            node_name="sgx-0",
+            driver=driver,
+            db=db,
+            pod_name_resolver=lambda path: "pod-x",
+        )
+        probe.collect(now=3.0)
+        (point,) = db.scan(MEASUREMENT_EPC)
+        assert point.value == pages(mib(4))
+        assert point.tag("pod_name") == "pod-x"
+        assert point.tag("nodename") == "sgx-0"
+
+    def test_probe_skips_unresolvable_cgroups(self, db, driver):
+        driver.register_process(1, "/system/daemon")
+        driver.create_enclave(1, size_bytes=mib(1))
+        probe = SgxMetricsProbe(
+            node_name="sgx-0",
+            driver=driver,
+            db=db,
+            pod_name_resolver=lambda path: None,
+        )
+        probe.collect(now=1.0)
+        assert db.scan(MEASUREMENT_EPC) == []
+
+    def test_probe_reports_node_gauges(self, db, driver):
+        probe = SgxMetricsProbe(
+            node_name="sgx-0",
+            driver=driver,
+            db=db,
+            pod_name_resolver=lambda path: None,
+        )
+        probe.collect(now=1.0)
+        gauges = {
+            p.tag("gauge"): p.value for p in db.scan(MEASUREMENT_EPC_NODE)
+        }
+        assert gauges == {"total": 23_936.0, "free": 23_936.0}
+
+    def test_gauges_track_allocations(self, db, driver):
+        driver.register_process(1, "/kubepods/burstable/podx")
+        driver.create_enclave(1, size_bytes=mib(8))
+        probe = SgxMetricsProbe(
+            node_name="sgx-0",
+            driver=driver,
+            db=db,
+            pod_name_resolver=lambda path: "x",
+        )
+        probe.collect(now=1.0)
+        free = next(
+            p
+            for p in db.scan(MEASUREMENT_EPC_NODE)
+            if p.tag("gauge") == "free"
+        )
+        assert free.value == 23_936.0 - pages(mib(8))

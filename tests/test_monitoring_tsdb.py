@@ -1,0 +1,108 @@
+"""Time-series database: writes, scans, retention."""
+
+import pytest
+
+from repro.errors import MonitoringError
+from repro.monitoring.tsdb import Point, TimeSeriesDatabase
+
+
+class TestPoints:
+    def test_make_normalizes_tags(self):
+        a = Point.make(1.0, 2.0, {"b": "2", "a": "1"})
+        b = Point.make(1.0, 2.0, {"a": "1", "b": "2"})
+        assert a == b
+
+    def test_tag_lookup(self):
+        point = Point.make(0.0, 1.0, {"pod_name": "p"})
+        assert point.tag("pod_name") == "p"
+        assert point.tag("missing") is None
+
+    def test_tag_dict(self):
+        point = Point.make(0.0, 1.0, {"x": "y"})
+        assert point.tag_dict == {"x": "y"}
+
+
+class TestWritesAndScans:
+    def test_scan_window_inclusive(self, db):
+        for t in (1.0, 2.0, 3.0, 4.0):
+            db.write("m", value=t, time=t)
+        values = [p.value for p in db.scan("m", start=2.0, end=3.0)]
+        assert values == [2.0, 3.0]
+
+    def test_scan_unknown_measurement_empty(self, db):
+        assert db.scan("ghost") == []
+
+    def test_out_of_order_writes_are_sorted(self, db):
+        db.write("m", value=2.0, time=2.0)
+        db.write("m", value=1.0, time=1.0)
+        times = [p.time for p in db.scan("m")]
+        assert times == [1.0, 2.0]
+
+    def test_empty_measurement_name_rejected(self, db):
+        with pytest.raises(MonitoringError):
+            db.write("", value=1.0, time=0.0)
+
+    def test_count_and_len(self, db):
+        db.write("a", value=1.0, time=0.0)
+        db.write("b", value=1.0, time=0.0)
+        db.write("b", value=2.0, time=1.0)
+        assert db.count("a") == 1
+        assert db.count("b") == 2
+        assert len(db) == 3
+
+    def test_measurements_listing(self, db):
+        db.write("b", value=1.0, time=0.0)
+        db.write("a", value=1.0, time=0.0)
+        assert db.measurements() == ["a", "b"]
+
+    def test_write_points_bulk(self, db):
+        db.write_points(
+            "m", [Point.make(t, t) for t in (3.0, 1.0, 2.0)]
+        )
+        assert [p.time for p in db.scan("m")] == [1.0, 2.0, 3.0]
+
+
+class TestLatest:
+    def test_latest_overall(self, db):
+        db.write("m", value=1.0, time=1.0, tags={"pod_name": "a"})
+        db.write("m", value=2.0, time=2.0, tags={"pod_name": "b"})
+        assert db.latest("m").value == 2.0
+
+    def test_latest_with_tag_filter(self, db):
+        db.write("m", value=1.0, time=1.0, tags={"pod_name": "a"})
+        db.write("m", value=2.0, time=2.0, tags={"pod_name": "b"})
+        assert db.latest("m", tags={"pod_name": "a"}).value == 1.0
+
+    def test_latest_no_match(self, db):
+        assert db.latest("m") is None
+
+
+class TestRetention:
+    def test_vacuum_drops_old_points(self):
+        db = TimeSeriesDatabase(retention_seconds=10.0)
+        db.write("m", value=1.0, time=0.0)
+        db.write("m", value=2.0, time=100.0)
+        removed = db.vacuum(now=100.0)
+        assert removed == 1
+        assert [p.value for p in db.scan("m")] == [2.0]
+
+    def test_vacuum_without_policy_is_noop(self, db):
+        db.write("m", value=1.0, time=0.0)
+        assert db.vacuum(now=1e9) == 0
+        assert db.count("m") == 1
+
+    def test_bad_retention_rejected(self):
+        with pytest.raises(MonitoringError):
+            TimeSeriesDatabase(retention_seconds=0)
+
+    def test_opportunistic_vacuum_on_writes(self):
+        db = TimeSeriesDatabase(retention_seconds=5.0)
+        for i in range(600):
+            db.write("m", value=float(i), time=float(i))
+        # Old points should have been vacuumed along the way.
+        assert db.count("m") < 600
+
+    def test_drop_measurement(self, db):
+        db.write("m", value=1.0, time=0.0)
+        db.drop_measurement("m")
+        assert db.scan("m") == []

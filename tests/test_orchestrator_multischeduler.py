@@ -1,0 +1,92 @@
+"""Concurrent schedulers over one cluster (Sec. V-B)."""
+
+from repro.cluster.topology import paper_cluster
+from repro.orchestrator.api import make_pod_spec
+from repro.orchestrator.controller import Orchestrator
+from repro.scheduler.binpack import BinpackScheduler
+from repro.scheduler.spread import SpreadScheduler
+from repro.units import mib
+
+
+def submit_pair(orchestrator):
+    """One pod per scheduler, same shape."""
+    binpack_pod = orchestrator.submit(
+        make_pod_spec(
+            "bp-pod",
+            duration_seconds=60.0,
+            declared_epc_bytes=mib(10),
+            scheduler_name="sgx-aware-binpack",
+        ),
+        now=0.0,
+    )
+    spread_pod = orchestrator.submit(
+        make_pod_spec(
+            "sp-pod",
+            duration_seconds=60.0,
+            declared_epc_bytes=mib(10),
+            scheduler_name="sgx-aware-spread",
+        ),
+        now=0.0,
+    )
+    return binpack_pod, spread_pod
+
+
+class TestMultiScheduler:
+    def test_each_scheduler_takes_only_its_pods(self):
+        orchestrator = Orchestrator(paper_cluster())
+        binpack_pod, spread_pod = submit_pair(orchestrator)
+        binpack_pass = orchestrator.scheduling_pass(
+            BinpackScheduler(), now=1.0, only_matching=True
+        )
+        assert [p.name for p, _ in binpack_pass.launched] == ["bp-pod"]
+        assert spread_pod in orchestrator.queue
+        spread_pass = orchestrator.scheduling_pass(
+            SpreadScheduler(), now=2.0, only_matching=True
+        )
+        assert [p.name for p, _ in spread_pass.launched] == ["sp-pod"]
+        assert len(orchestrator.queue) == 0
+
+    def test_default_pass_ignores_selection(self):
+        orchestrator = Orchestrator(paper_cluster())
+        submit_pair(orchestrator)
+        result = orchestrator.scheduling_pass(BinpackScheduler(), now=1.0)
+        assert len(result.launched) == 2
+
+    def test_unmatched_pods_stay_pending(self):
+        orchestrator = Orchestrator(paper_cluster())
+        _, spread_pod = submit_pair(orchestrator)
+        orchestrator.scheduling_pass(
+            BinpackScheduler(), now=1.0, only_matching=True
+        )
+        assert spread_pod.phase.value == "Pending"
+
+    def test_both_strategies_share_cluster_state(self):
+        # A pod placed by one scheduler occupies capacity the other
+        # scheduler must respect.
+        orchestrator = Orchestrator(paper_cluster(sgx_workers=1))
+        big = orchestrator.submit(
+            make_pod_spec(
+                "bp-big",
+                duration_seconds=600.0,
+                declared_epc_bytes=mib(90),
+                scheduler_name="sgx-aware-binpack",
+            ),
+            now=0.0,
+        )
+        blocked = orchestrator.submit(
+            make_pod_spec(
+                "sp-blocked",
+                duration_seconds=60.0,
+                declared_epc_bytes=mib(50),
+                scheduler_name="sgx-aware-spread",
+            ),
+            now=0.0,
+        )
+        first = orchestrator.scheduling_pass(
+            BinpackScheduler(), now=1.0, only_matching=True
+        )
+        assert any(p is big for p, _ in first.launched)
+        second = orchestrator.scheduling_pass(
+            SpreadScheduler(), now=2.0, only_matching=True
+        )
+        assert blocked in second.deferred

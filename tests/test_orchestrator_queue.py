@@ -1,0 +1,90 @@
+"""FCFS pending queue semantics."""
+
+import pytest
+
+from repro.errors import OrchestrationError
+from repro.orchestrator.api import PodSpec, ResourceRequirements
+from repro.orchestrator.pod import Pod
+from repro.orchestrator.queue import PendingQueue
+from repro.cluster.resources import ResourceVector
+from repro.units import gib
+
+
+def make_pod(name: str, submitted_at: float, epc=0, mem=0) -> Pod:
+    spec = PodSpec(
+        name=name,
+        resources=ResourceRequirements(
+            requests=ResourceVector(memory_bytes=mem, epc_pages=epc)
+        ),
+    )
+    return Pod(spec, submitted_at=submitted_at)
+
+
+class TestFcfsOrder:
+    def test_iteration_is_submission_order(self):
+        queue = PendingQueue()
+        pods = [make_pod(f"p{i}", float(i)) for i in range(5)]
+        for pod in pods:
+            queue.push(pod)
+        assert [p.name for p in queue] == [p.name for p in pods]
+
+    def test_peek_returns_oldest(self):
+        queue = PendingQueue()
+        queue.push(make_pod("old", 1.0))
+        queue.push(make_pod("new", 2.0))
+        assert queue.peek().name == "old"
+
+    def test_peek_empty(self):
+        assert PendingQueue().peek() is None
+
+    def test_removal_preserves_relative_order(self):
+        queue = PendingQueue()
+        pods = [make_pod(f"p{i}", float(i)) for i in range(4)]
+        for pod in pods:
+            queue.push(pod)
+        queue.remove(pods[1])
+        assert [p.name for p in queue] == ["p0", "p2", "p3"]
+
+
+class TestMembership:
+    def test_double_push_rejected(self):
+        queue = PendingQueue()
+        pod = make_pod("p", 0.0)
+        queue.push(pod)
+        with pytest.raises(OrchestrationError):
+            queue.push(pod)
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(OrchestrationError):
+            PendingQueue().remove(make_pod("p", 0.0))
+
+    def test_contains_and_len(self):
+        queue = PendingQueue()
+        pod = make_pod("p", 0.0)
+        assert pod not in queue
+        queue.push(pod)
+        assert pod in queue
+        assert len(queue) == 1
+
+
+class TestAggregates:
+    def test_pending_epc_pages(self):
+        queue = PendingQueue()
+        queue.push(make_pod("a", 0.0, epc=100))
+        queue.push(make_pod("b", 1.0, epc=200))
+        queue.push(make_pod("c", 2.0, mem=gib(1)))
+        assert queue.total_requested_epc_pages() == 300
+
+    def test_pending_memory(self):
+        queue = PendingQueue()
+        queue.push(make_pod("a", 0.0, mem=gib(1)))
+        queue.push(make_pod("b", 1.0, mem=gib(2)))
+        assert queue.total_requested_memory_bytes() == gib(3)
+
+    def test_snapshot_is_a_copy(self):
+        queue = PendingQueue()
+        pod = make_pod("a", 0.0)
+        queue.push(pod)
+        snapshot = queue.snapshot()
+        queue.remove(pod)
+        assert snapshot == [pod]

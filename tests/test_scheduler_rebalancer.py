@@ -1,0 +1,115 @@
+"""EPC contention rebalancer: detection, victim choice, relief."""
+
+import pytest
+
+from repro.cluster.topology import paper_cluster
+from repro.orchestrator.api import make_pod_spec
+from repro.orchestrator.controller import Orchestrator
+from repro.scheduler.binpack import BinpackScheduler
+from repro.scheduler.rebalancer import EpcRebalancer
+from repro.units import mib
+
+
+def overcommitted_orchestrator():
+    """Node sgx-worker-0 over-committed by under-declaring pods.
+
+    Three pods each declare 1 MiB but use 40 MiB; the scheduler packs
+    them onto one node (declared view), physically over-committing its
+    93.5 MiB EPC (120 > 93.5) while sgx-worker-1 idles.
+    """
+    orchestrator = Orchestrator(
+        paper_cluster(enforce_epc_limits=False, epc_allow_overcommit=True)
+    )
+    scheduler = BinpackScheduler()
+    pods = []
+    for index in range(3):
+        pods.append(
+            orchestrator.submit(
+                make_pod_spec(
+                    f"liar-{index}",
+                    duration_seconds=600.0,
+                    declared_epc_bytes=mib(1),
+                    actual_epc_bytes=mib(40),
+                ),
+                now=0.0,
+            )
+        )
+    result = orchestrator.scheduling_pass(scheduler, now=1.0)
+    assert len(result.launched) == 3
+    for pod, _ in result.launched:
+        orchestrator.start_pod(pod, now=1.5)
+    return orchestrator, pods
+
+
+class TestDetection:
+    def test_overcommitted_node_detected(self):
+        orchestrator, pods = overcommitted_orchestrator()
+        rebalancer = EpcRebalancer(orchestrator)
+        assert rebalancer.overcommitted_nodes() == [pods[0].node_name]
+
+    def test_healthy_cluster_detects_nothing(self):
+        orchestrator = Orchestrator(paper_cluster())
+        assert EpcRebalancer(orchestrator).overcommitted_nodes() == []
+
+
+class TestRebalancing:
+    def test_relieves_overcommit_by_migrating(self):
+        orchestrator, pods = overcommitted_orchestrator()
+        source = pods[0].node_name
+        rebalancer = EpcRebalancer(orchestrator)
+        report = rebalancer.rebalance(now=100.0)
+        assert report.actions, "expected at least one migration"
+        assert rebalancer.overcommitted_nodes() == []
+        assert report.unrelieved_nodes == []
+        for action in report.actions:
+            assert action.source_node == source
+            assert action.target_node != source
+            assert action.downtime_seconds > 0.0
+
+    def test_migrated_pods_keep_running(self):
+        orchestrator, pods = overcommitted_orchestrator()
+        EpcRebalancer(orchestrator).rebalance(now=100.0)
+        assert all(p.phase.value == "Running" for p in pods)
+        for pod in pods:
+            orchestrator.complete_pod(pod, now=700.0)
+
+    def test_respects_migration_budget(self):
+        orchestrator, _ = overcommitted_orchestrator()
+        rebalancer = EpcRebalancer(orchestrator, max_migrations_per_pass=0)
+        report = rebalancer.rebalance(now=100.0)
+        assert report.actions == []
+        assert report.unrelieved_nodes != []
+
+    def test_no_target_means_unrelieved(self):
+        # Only one SGX node: nowhere to migrate to.
+        orchestrator = Orchestrator(
+            paper_cluster(
+                enforce_epc_limits=False,
+                epc_allow_overcommit=True,
+                sgx_workers=1,
+            )
+        )
+        scheduler = BinpackScheduler()
+        for index in range(3):
+            pod = orchestrator.submit(
+                make_pod_spec(
+                    f"liar-{index}",
+                    duration_seconds=600.0,
+                    declared_epc_bytes=mib(1),
+                    actual_epc_bytes=mib(40),
+                ),
+                now=0.0,
+            )
+        result = orchestrator.scheduling_pass(scheduler, now=1.0)
+        for pod, _ in result.launched:
+            orchestrator.start_pod(pod, now=1.5)
+        report = EpcRebalancer(orchestrator).rebalance(now=100.0)
+        assert report.actions == []
+        assert report.unrelieved_nodes == ["sgx-worker-0"]
+
+    def test_idempotent_after_relief(self):
+        orchestrator, _ = overcommitted_orchestrator()
+        rebalancer = EpcRebalancer(orchestrator)
+        rebalancer.rebalance(now=100.0)
+        second = rebalancer.rebalance(now=200.0)
+        assert second.actions == []

@@ -1,0 +1,86 @@
+"""AESM / PSW model: launch tokens, quotes, startup cost."""
+
+import pytest
+
+from repro.errors import LaunchTokenError
+from repro.sgx.aesm import AesmService, PlatformSoftware
+
+
+class TestLifecycle:
+    def test_not_running_initially(self):
+        assert not AesmService().running
+
+    def test_start_returns_startup_latency(self):
+        service = AesmService()
+        assert service.start() == pytest.approx(0.100)
+        assert service.running
+
+    def test_stop(self):
+        service = AesmService()
+        service.start()
+        service.stop()
+        assert not service.running
+
+
+class TestLaunchTokens:
+    def test_token_requires_running_service(self):
+        with pytest.raises(LaunchTokenError):
+            AesmService().get_launch_token("meas", "vendor")
+
+    def test_token_matches_measurement(self):
+        service = AesmService()
+        service.start()
+        token = service.get_launch_token("meas", "vendor")
+        assert token.matches("meas")
+        assert not token.matches("other")
+
+    def test_empty_measurement_rejected(self):
+        service = AesmService()
+        service.start()
+        with pytest.raises(LaunchTokenError):
+            service.get_launch_token("", "vendor")
+
+    def test_token_ids_are_unique(self):
+        service = AesmService()
+        service.start()
+        a = service.get_launch_token("m", "v")
+        b = service.get_launch_token("m", "v")
+        assert a.token_id != b.token_id
+
+
+class TestQuotes:
+    def test_quote_requires_running_service(self):
+        with pytest.raises(LaunchTokenError):
+            AesmService().get_quote("meas")
+
+    def test_quote_digest_is_deterministic(self):
+        service = AesmService(platform_id="p1")
+        service.start()
+        a = service.get_quote("meas", "report")
+        b = service.get_quote("meas", "report")
+        assert a.digest == b.digest
+
+    def test_quote_digest_binds_platform(self):
+        s1 = AesmService(platform_id="p1")
+        s2 = AesmService(platform_id="p2")
+        s1.start()
+        s2.start()
+        assert s1.get_quote("m").digest != s2.get_quote("m").digest
+
+
+class TestPlatformSoftware:
+    def test_boot_starts_aesm(self):
+        psw = PlatformSoftware("container-1")
+        latency = psw.boot()
+        assert latency == pytest.approx(0.100)
+        assert psw.aesm.running
+
+    def test_shutdown_stops_aesm(self):
+        psw = PlatformSoftware("container-1")
+        psw.boot()
+        psw.shutdown()
+        assert not psw.aesm.running
+
+    def test_default_platform_id_includes_container(self):
+        psw = PlatformSoftware("abc")
+        assert "abc" in psw.aesm.platform_id

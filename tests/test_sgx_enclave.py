@@ -1,0 +1,121 @@
+"""Enclave lifecycle: ECREATE, EINIT, ecall, teardown."""
+
+import pytest
+
+from repro.errors import (
+    EnclaveStateError,
+    EpcExhaustedError,
+    LaunchTokenError,
+)
+from repro.sgx.aesm import AesmService
+from repro.sgx.enclave import Enclave, EnclaveState
+from repro.sgx.epc import EnclavePageCache
+from repro.units import mib, pages
+
+
+@pytest.fixture
+def epc() -> EnclavePageCache:
+    return EnclavePageCache()
+
+
+@pytest.fixture
+def aesm() -> AesmService:
+    service = AesmService()
+    service.start()
+    return service
+
+
+def make_enclave(epc, size=mib(10)) -> Enclave:
+    return Enclave(owner="/kubepods/burstable/pod1", epc=epc, size_bytes=size)
+
+
+class TestCreation:
+    def test_creation_commits_all_pages(self, epc):
+        enclave = make_enclave(epc, size=mib(10))
+        assert enclave.pages == pages(mib(10))
+        assert epc.allocated_pages == enclave.pages
+
+    def test_creation_fails_when_epc_full(self, epc):
+        make_enclave(epc, size=mib(93.5))
+        with pytest.raises(EpcExhaustedError):
+            make_enclave(epc, size=mib(1))
+
+    def test_zero_size_rejected(self, epc):
+        with pytest.raises(EnclaveStateError):
+            make_enclave(epc, size=0)
+
+    def test_starts_in_created_state(self, epc):
+        assert make_enclave(epc).state is EnclaveState.CREATED
+
+    def test_measurement_stable_for_same_identity(self, epc):
+        a = make_enclave(epc, size=mib(1))
+        b = make_enclave(epc, size=mib(1))
+        assert a.measurement == b.measurement
+
+    def test_measurement_differs_by_size(self, epc):
+        a = make_enclave(epc, size=mib(1))
+        b = make_enclave(epc, size=mib(2))
+        assert a.measurement != b.measurement
+
+
+class TestInitialization:
+    def test_initialize_with_matching_token(self, epc, aesm):
+        enclave = make_enclave(epc)
+        token = aesm.get_launch_token(enclave.measurement, enclave.signer)
+        enclave.initialize(token)
+        assert enclave.state is EnclaveState.INITIALIZED
+
+    def test_initialize_with_wrong_token_rejected(self, epc, aesm):
+        enclave = make_enclave(epc)
+        token = aesm.get_launch_token("bogus-measurement", enclave.signer)
+        with pytest.raises(LaunchTokenError):
+            enclave.initialize(token)
+
+    def test_double_initialize_rejected(self, epc, aesm):
+        enclave = make_enclave(epc)
+        token = aesm.get_launch_token(enclave.measurement, enclave.signer)
+        enclave.initialize(token)
+        with pytest.raises(EnclaveStateError):
+            enclave.initialize(token)
+
+
+class TestExecution:
+    def test_ecall_requires_initialization(self, epc):
+        enclave = make_enclave(epc)
+        with pytest.raises(EnclaveStateError):
+            enclave.ecall()
+
+    def test_ecall_counts(self, epc, aesm):
+        enclave = make_enclave(epc)
+        token = aesm.get_launch_token(enclave.measurement, enclave.signer)
+        enclave.initialize(token)
+        enclave.ecall("f")
+        enclave.ecall("g")
+        assert enclave.ecall_count == 2
+
+    def test_grow_raises_sgx1_limitation(self, epc):
+        enclave = make_enclave(epc)
+        with pytest.raises(EnclaveStateError, match="SGX 2"):
+            enclave.grow(mib(1))
+
+
+class TestDestruction:
+    def test_destroy_releases_pages(self, epc):
+        enclave = make_enclave(epc)
+        enclave.destroy()
+        assert epc.allocated_pages == 0
+        assert enclave.state is EnclaveState.DESTROYED
+
+    def test_destroy_is_idempotent(self, epc):
+        enclave = make_enclave(epc)
+        enclave.destroy()
+        enclave.destroy()
+        assert epc.allocated_pages == 0
+
+    def test_ecall_after_destroy_rejected(self, epc, aesm):
+        enclave = make_enclave(epc)
+        token = aesm.get_launch_token(enclave.measurement, enclave.signer)
+        enclave.initialize(token)
+        enclave.destroy()
+        with pytest.raises(EnclaveStateError):
+            enclave.ecall()

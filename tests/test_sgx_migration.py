@@ -1,0 +1,169 @@
+"""Secure enclave migration: protocol guarantees."""
+
+import pytest
+
+from repro.sgx.aesm import AesmService
+from repro.sgx.driver import SgxDriver
+from repro.sgx.epc import EnclavePageCache
+from repro.sgx.migration import MigrationError, MigrationManager
+from repro.units import mib, pages
+
+POD = "/kubepods/burstable/podmig"
+
+
+@pytest.fixture
+def manager() -> MigrationManager:
+    return MigrationManager()
+
+
+def make_node(platform_id):
+    """(driver, aesm) pair standing in for one machine."""
+    driver = SgxDriver(EnclavePageCache())
+    driver.register_process(1, POD)
+    aesm = AesmService(platform_id=platform_id)
+    aesm.start()
+    return driver, aesm
+
+
+def running_enclave(driver, aesm, size=mib(8), ecalls=3):
+    enclave = driver.create_enclave(1, size_bytes=size)
+    driver.initialize_enclave(1, enclave, aesm)
+    for _ in range(ecalls):
+        enclave.ecall("work")
+    return enclave
+
+
+class TestHappyPath:
+    def test_checkpoint_restores_on_target(self, manager):
+        src_driver, src_aesm = make_node("src")
+        dst_driver, dst_aesm = make_node("dst")
+        enclave = running_enclave(src_driver, src_aesm, ecalls=5)
+
+        checkpoint, key = manager.checkpoint(
+            src_driver, 1, enclave, src_aesm, dst_aesm
+        )
+        restored = manager.restore(
+            dst_driver, 1, checkpoint, key, dst_aesm
+        )
+        # Observationally identical: same measurement, same call count.
+        assert restored.measurement == checkpoint.measurement
+        assert restored.ecall_count == 5
+        assert restored.pages == pages(mib(8))
+
+    def test_source_pages_freed_at_checkpoint(self, manager):
+        src_driver, src_aesm = make_node("src")
+        _, dst_aesm = make_node("dst")
+        enclave = running_enclave(src_driver, src_aesm)
+        manager.checkpoint(src_driver, 1, enclave, src_aesm, dst_aesm)
+        assert src_driver.epc.allocated_pages == 0
+
+    def test_source_self_destroyed(self, manager):
+        src_driver, src_aesm = make_node("src")
+        _, dst_aesm = make_node("dst")
+        enclave = running_enclave(src_driver, src_aesm)
+        manager.checkpoint(src_driver, 1, enclave, src_aesm, dst_aesm)
+        from repro.errors import EnclaveStateError
+
+        with pytest.raises(EnclaveStateError):
+            enclave.ecall("after-checkpoint")
+
+    def test_checkpoint_digest_stable(self, manager):
+        src_driver, src_aesm = make_node("src")
+        _, dst_aesm = make_node("dst")
+        enclave = running_enclave(src_driver, src_aesm)
+        checkpoint, _ = manager.checkpoint(
+            src_driver, 1, enclave, src_aesm, dst_aesm
+        )
+        assert checkpoint.state_digest == checkpoint.state_digest
+
+
+class TestAttacks:
+    def setup_checkpoint(self, manager):
+        src_driver, src_aesm = make_node("src")
+        dst_driver, dst_aesm = make_node("dst")
+        enclave = running_enclave(src_driver, src_aesm)
+        checkpoint, key = manager.checkpoint(
+            src_driver, 1, enclave, src_aesm, dst_aesm
+        )
+        return dst_driver, dst_aesm, checkpoint, key
+
+    def test_fork_attack_double_restore_rejected(self, manager):
+        dst_driver, dst_aesm, checkpoint, key = self.setup_checkpoint(
+            manager
+        )
+        manager.restore(dst_driver, 1, checkpoint, key, dst_aesm)
+        with pytest.raises(MigrationError, match="fork"):
+            manager.restore(dst_driver, 1, checkpoint, key, dst_aesm)
+
+    def test_restore_on_wrong_platform_rejected(self, manager):
+        _, _, checkpoint, key = self.setup_checkpoint(manager)
+        evil_driver, evil_aesm = make_node("evil")
+        with pytest.raises(MigrationError, match="platform"):
+            manager.restore(evil_driver, 1, checkpoint, key, evil_aesm)
+
+    def test_mismatched_key_rejected(self, manager):
+        dst_driver, dst_aesm, checkpoint, _ = self.setup_checkpoint(
+            manager
+        )
+        _, _, _, other_key = self.setup_checkpoint(manager)
+        with pytest.raises(MigrationError, match="not bound"):
+            manager.restore(
+                dst_driver, 1, checkpoint, other_key, dst_aesm
+            )
+
+    def test_rollback_attack_stale_generation_rejected(self, manager):
+        src_driver, src_aesm = make_node("src")
+        dst_driver, dst_aesm = make_node("dst")
+        enclave = running_enclave(src_driver, src_aesm)
+        old_checkpoint, old_key = manager.checkpoint(
+            src_driver, 1, enclave, src_aesm, dst_aesm
+        )
+        # Migrate forward, run more work, checkpoint again.
+        restored = manager.restore(
+            dst_driver, 1, old_checkpoint, old_key, dst_aesm
+        )
+        restored.ecall("more-work")
+        back_driver, back_aesm = make_node("src2")
+        manager.checkpoint(
+            dst_driver, 1, restored, dst_aesm, back_aesm
+        )
+        # Replaying the now-stale first checkpoint must fail, even on a
+        # fresh manager-tracked lineage (generation is older).
+        with pytest.raises(MigrationError):
+            manager.restore(
+                dst_driver, 1, old_checkpoint, old_key, dst_aesm
+            )
+
+    def test_checkpoint_requires_initialized_enclave(self, manager):
+        src_driver, src_aesm = make_node("src")
+        _, dst_aesm = make_node("dst")
+        enclave = src_driver.create_enclave(1, size_bytes=mib(4))
+        with pytest.raises(MigrationError, match="state"):
+            manager.checkpoint(
+                src_driver, 1, enclave, src_aesm, dst_aesm
+            )
+
+
+class TestLineage:
+    def test_generations_increase_along_lineage(self, manager):
+        src_driver, src_aesm = make_node("src")
+        dst_driver, dst_aesm = make_node("dst")
+        enclave = running_enclave(src_driver, src_aesm)
+        first, key = manager.checkpoint(
+            src_driver, 1, enclave, src_aesm, dst_aesm
+        )
+        restored = manager.restore(dst_driver, 1, first, key, dst_aesm)
+        second, _ = manager.checkpoint(
+            dst_driver, 1, restored, dst_aesm, src_aesm
+        )
+        assert second.lineage_id == first.lineage_id
+        assert second.generation == first.generation + 1
+
+    def test_distinct_enclaves_distinct_lineages(self, manager):
+        src_driver, src_aesm = make_node("src")
+        _, dst_aesm = make_node("dst")
+        a = running_enclave(src_driver, src_aesm, size=mib(2))
+        b = running_enclave(src_driver, src_aesm, size=mib(4))
+        ca, _ = manager.checkpoint(src_driver, 1, a, src_aesm, dst_aesm)
+        cb, _ = manager.checkpoint(src_driver, 1, b, src_aesm, dst_aesm)
+        assert ca.lineage_id != cb.lineage_id

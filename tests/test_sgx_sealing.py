@@ -1,0 +1,133 @@
+"""Sealed storage: policies, platform binding, tamper detection."""
+
+import pytest
+
+from repro.sgx.aesm import AesmService
+from repro.sgx.enclave import Enclave
+from repro.sgx.epc import EnclavePageCache
+from repro.sgx.sealing import (
+    SealPolicy,
+    SealingError,
+    SealingService,
+)
+from repro.errors import SgxError
+from repro.units import mib
+
+SECRET = b"database encryption key material"
+
+
+@pytest.fixture
+def aesm() -> AesmService:
+    service = AesmService()
+    service.start()
+    return service
+
+
+def initialized_enclave(aesm, size=mib(4), signer="vendor") -> Enclave:
+    enclave = Enclave(
+        owner="/kubepods/burstable/podseal",
+        epc=EnclavePageCache(),
+        size_bytes=size,
+        signer=signer,
+    )
+    token = aesm.get_launch_token(enclave.measurement, enclave.signer)
+    enclave.initialize(token)
+    return enclave
+
+
+class TestRoundTrip:
+    def test_seal_unseal_mrsigner(self, aesm):
+        service = SealingService("platform-a")
+        enclave = initialized_enclave(aesm)
+        blob = service.seal(enclave, SECRET, SealPolicy.MRSIGNER)
+        assert service.unseal(enclave, blob) == SECRET
+
+    def test_seal_unseal_mrenclave(self, aesm):
+        service = SealingService("platform-a")
+        enclave = initialized_enclave(aesm)
+        blob = service.seal(enclave, SECRET, SealPolicy.MRENCLAVE)
+        assert service.unseal(enclave, blob) == SECRET
+
+    def test_ciphertext_differs_from_plaintext(self, aesm):
+        service = SealingService("platform-a")
+        enclave = initialized_enclave(aesm)
+        blob = service.seal(enclave, SECRET)
+        assert blob.ciphertext != SECRET
+        assert blob.size_bytes == len(SECRET)
+
+    def test_restart_survives_without_reattestation(self, aesm):
+        # Section II's point: a *new instance* of the same enclave on
+        # the same platform unseals without a fresh remote attestation.
+        service = SealingService("platform-a")
+        first = initialized_enclave(aesm, size=mib(4))
+        blob = service.seal(first, SECRET, SealPolicy.MRENCLAVE)
+        first.destroy()
+        second = initialized_enclave(aesm, size=mib(4))
+        assert second.measurement == first.measurement
+        assert service.unseal(second, blob) == SECRET
+
+    def test_empty_payload(self, aesm):
+        service = SealingService("platform-a")
+        enclave = initialized_enclave(aesm)
+        blob = service.seal(enclave, b"")
+        assert service.unseal(enclave, blob) == b""
+
+
+class TestPolicySemantics:
+    def test_mrenclave_rejects_different_build(self, aesm):
+        service = SealingService("platform-a")
+        old_build = initialized_enclave(aesm, size=mib(4))
+        new_build = initialized_enclave(aesm, size=mib(8))  # new version
+        blob = service.seal(old_build, SECRET, SealPolicy.MRENCLAVE)
+        with pytest.raises(SealingError):
+            service.unseal(new_build, blob)
+
+    def test_mrsigner_allows_upgraded_build(self, aesm):
+        service = SealingService("platform-a")
+        old_build = initialized_enclave(aesm, size=mib(4))
+        new_build = initialized_enclave(aesm, size=mib(8))
+        blob = service.seal(old_build, SECRET, SealPolicy.MRSIGNER)
+        assert service.unseal(new_build, blob) == SECRET
+
+    def test_mrsigner_rejects_other_vendor(self, aesm):
+        service = SealingService("platform-a")
+        ours = initialized_enclave(aesm, signer="vendor")
+        theirs = initialized_enclave(aesm, signer="eve-corp")
+        blob = service.seal(ours, SECRET, SealPolicy.MRSIGNER)
+        with pytest.raises(SealingError):
+            service.unseal(theirs, blob)
+
+
+class TestPlatformBinding:
+    def test_other_platform_cannot_unseal(self, aesm):
+        enclave = initialized_enclave(aesm)
+        blob = SealingService("platform-a").seal(enclave, SECRET)
+        with pytest.raises(SealingError):
+            SealingService("platform-b").unseal(enclave, blob)
+
+    def test_empty_platform_rejected(self):
+        with pytest.raises(SgxError):
+            SealingService("")
+
+
+class TestIntegrity:
+    def test_tampered_ciphertext_detected(self, aesm):
+        from dataclasses import replace
+
+        service = SealingService("platform-a")
+        enclave = initialized_enclave(aesm)
+        blob = service.seal(enclave, SECRET)
+        flipped = bytes([blob.ciphertext[0] ^ 0xFF]) + blob.ciphertext[1:]
+        tampered = replace(blob, ciphertext=flipped)
+        with pytest.raises(SealingError, match="MAC"):
+            service.unseal(enclave, tampered)
+
+    def test_uninitialized_enclave_cannot_seal(self, aesm):
+        service = SealingService("platform-a")
+        enclave = Enclave(
+            owner="/kubepods/burstable/podseal",
+            epc=EnclavePageCache(),
+            size_bytes=mib(1),
+        )
+        with pytest.raises(SealingError):
+            service.seal(enclave, SECRET)

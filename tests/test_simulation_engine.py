@@ -1,0 +1,132 @@
+"""Discrete-event engine: ordering, cancellation, termination."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.engine import SimulationEngine
+
+
+class TestOrdering:
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(3.0, lambda: fired.append(3))
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(2.0, lambda: fired.append(2))
+        engine.run()
+        assert fired == [1, 2, 3]
+
+    def test_ties_break_by_scheduling_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append("first"))
+        engine.schedule_at(1.0, lambda: fired.append("second"))
+        engine.run()
+        assert fired == ["first", "second"]
+
+    def test_clock_advances_to_event_time(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule_at(5.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [5.0]
+        assert engine.now == 5.0
+
+    def test_schedule_in_is_relative(self):
+        engine = SimulationEngine(start_time=10.0)
+        seen = []
+        engine.schedule_in(5.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [15.0]
+
+    def test_events_can_schedule_events(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def chain():
+            fired.append(engine.now)
+            if engine.now < 3.0:
+                engine.schedule_in(1.0, chain)
+
+        engine.schedule_at(1.0, chain)
+        engine.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestValidation:
+    def test_scheduling_in_past_rejected(self):
+        engine = SimulationEngine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().schedule_in(-1.0, lambda: None)
+
+    def test_runaway_loop_detected(self):
+        engine = SimulationEngine()
+
+        def forever():
+            engine.schedule_in(0.0, forever)
+
+        engine.schedule_at(0.0, forever)
+        with pytest.raises(SimulationError, match="runaway"):
+            engine.run(max_events=1000)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = SimulationEngine()
+        fired = []
+        handle = engine.schedule_at(1.0, lambda: fired.append(1))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        engine = SimulationEngine()
+        handle = engine.schedule_at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+
+    def test_pending_events_excludes_cancelled(self):
+        engine = SimulationEngine()
+        keep = engine.schedule_at(1.0, lambda: None)
+        drop = engine.schedule_at(2.0, lambda: None)
+        drop.cancel()
+        assert engine.pending_events == 1
+        assert keep.time == 1.0
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(10.0, lambda: fired.append(10))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        engine.run()
+        assert fired == [1, 10]
+
+    def test_run_until_advances_clock_when_idle(self):
+        engine = SimulationEngine()
+        engine.run(until=100.0)
+        assert engine.now == 100.0
+
+    def test_step(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(2.0, lambda: fired.append(2))
+        assert engine.step()
+        assert fired == [1]
+        assert engine.step()
+        assert not engine.step()
+
+    def test_fired_events_counter(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.run()
+        assert engine.fired_events == 1

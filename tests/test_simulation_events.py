@@ -1,0 +1,54 @@
+"""Event log: records, selections, tallies."""
+
+from repro.simulation.events import EventKind, EventLog
+
+
+def make_log() -> EventLog:
+    log = EventLog()
+    log.record(0.0, EventKind.SUBMITTED, pod_name="a")
+    log.record(1.0, EventKind.SCHEDULING_PASS)
+    log.record(1.0, EventKind.BOUND, pod_name="a", node_name="n1")
+    log.record(1.2, EventKind.STARTED, pod_name="a", node_name="n1")
+    log.record(5.0, EventKind.SUBMITTED, pod_name="b")
+    log.record(61.2, EventKind.COMPLETED, pod_name="a", node_name="n1")
+    return log
+
+
+class TestEventLog:
+    def test_len_and_iteration(self):
+        log = make_log()
+        assert len(log) == 6
+        assert [e.time for e in log] == [0.0, 1.0, 1.0, 1.2, 5.0, 61.2]
+
+    def test_of_kind(self):
+        log = make_log()
+        submitted = log.of_kind(EventKind.SUBMITTED)
+        assert [e.pod_name for e in submitted] == ["a", "b"]
+
+    def test_for_pod(self):
+        log = make_log()
+        kinds = [e.kind for e in log.for_pod("a")]
+        assert kinds == [
+            EventKind.SUBMITTED,
+            EventKind.BOUND,
+            EventKind.STARTED,
+            EventKind.COMPLETED,
+        ]
+
+    def test_counts(self):
+        counts = make_log().counts()
+        assert counts[EventKind.SUBMITTED] == 2
+        assert counts[EventKind.COMPLETED] == 1
+        assert EventKind.REJECTED not in counts
+
+    def test_detail_carried(self):
+        log = EventLog()
+        log.record(
+            0.0, EventKind.LAUNCH_KILLED, pod_name="x", detail="limit"
+        )
+        assert log.events[0].detail == "limit"
+
+    def test_node_name_carried(self):
+        log = make_log()
+        bound = log.of_kind(EventKind.BOUND)[0]
+        assert bound.node_name == "n1"

@@ -1,0 +1,133 @@
+"""Trace scaling pipeline and the public-CSV loader."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.loader import dump_borg_csv, load_borg_csv
+from repro.trace.scaling import (
+    renumber_from_zero,
+    sample_stride,
+    scale_pipeline,
+    slice_window,
+)
+from repro.trace.schema import JobRecord, Trace
+
+
+def job(job_id, submit, duration=10.0):
+    return JobRecord(
+        job_id=job_id,
+        submit_time=submit,
+        duration=duration,
+        assigned_memory=0.1,
+        max_memory=0.05,
+    )
+
+
+@pytest.fixture
+def long_trace() -> Trace:
+    return Trace([job(i, float(i * 10)) for i in range(2000)])
+
+
+class TestSliceWindow:
+    def test_keeps_only_window_submissions(self, long_trace):
+        window = slice_window(long_trace, 100.0, 200.0)
+        times = [j.submit_time for j in window]
+        assert min(times) >= 100.0
+        assert max(times) < 200.0
+
+    def test_default_is_papers_window(self, long_trace):
+        window = slice_window(long_trace)
+        assert all(
+            6480.0 <= j.submit_time < 10_080.0 for j in window
+        )
+
+    def test_empty_window_rejected(self, long_trace):
+        with pytest.raises(TraceError):
+            slice_window(long_trace, 100.0, 100.0)
+
+
+class TestSampleStride:
+    def test_every_nth_job(self, long_trace):
+        sampled = sample_stride(long_trace, stride=100)
+        assert len(sampled) == 20
+        assert [j.job_id for j in sampled][:3] == [0, 100, 200]
+
+    def test_offset(self, long_trace):
+        sampled = sample_stride(long_trace, stride=100, offset=5)
+        assert sampled[0].job_id == 5
+
+    def test_bad_stride_rejected(self, long_trace):
+        with pytest.raises(TraceError):
+            sample_stride(long_trace, stride=0)
+
+    def test_bad_offset_rejected(self, long_trace):
+        with pytest.raises(TraceError):
+            sample_stride(long_trace, offset=-1)
+
+
+class TestRenumber:
+    def test_first_submission_at_zero(self, long_trace):
+        window = slice_window(long_trace, 100.0, 500.0)
+        renumbered = renumber_from_zero(window)
+        assert renumbered[0].submit_time == 0.0
+
+    def test_relative_spacing_preserved(self, long_trace):
+        window = slice_window(long_trace, 100.0, 500.0)
+        renumbered = renumber_from_zero(window)
+        original_gaps = [
+            b.submit_time - a.submit_time
+            for a, b in zip(window.jobs, window.jobs[1:])
+        ]
+        new_gaps = [
+            b.submit_time - a.submit_time
+            for a, b in zip(renumbered.jobs, renumbered.jobs[1:])
+        ]
+        assert new_gaps == original_gaps
+
+    def test_empty_trace_ok(self):
+        assert len(renumber_from_zero(Trace())) == 0
+
+
+class TestPipeline:
+    def test_full_pipeline(self, long_trace):
+        scaled = scale_pipeline(
+            long_trace, start_seconds=0.0, end_seconds=20_000.0, stride=10
+        )
+        assert len(scaled) == 200
+        assert scaled[0].submit_time == 0.0
+
+
+class TestLoader:
+    def test_round_trip(self, tmp_path, long_trace):
+        path = tmp_path / "trace.csv"
+        small = Trace(long_trace.jobs[:10])
+        dump_borg_csv(small, path)
+        loaded = load_borg_csv(path)
+        assert len(loaded) == 10
+        assert loaded[0].submit_time == small[0].submit_time
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(TraceError, match="not found"):
+            load_borg_csv(tmp_path / "ghost.csv")
+
+    def test_comments_and_header_skipped(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "job_id,submit,duration,assigned,max\n"
+            "# a comment\n"
+            "1,0.0,10.0,0.1,0.05\n"
+        )
+        loaded = load_borg_csv(path)
+        assert len(loaded) == 1
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("1,0.0,10.0\n")
+        with pytest.raises(TraceError, match="columns"):
+            load_borg_csv(path)
+
+    def test_bad_values_rejected(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("1,0.0,-5.0,0.1,0.05\n")
+        with pytest.raises(TraceError, match="bad job record"):
+            load_borg_csv(path)

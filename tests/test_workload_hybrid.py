@@ -1,0 +1,113 @@
+"""Hybrid trusted/untrusted workloads and their scheduling behaviour."""
+
+import pytest
+
+from repro.cluster.topology import paper_cluster
+from repro.errors import TraceError
+from repro.experiments.ext_hybrid import (
+    format_ext_hybrid,
+    run_ext_hybrid,
+)
+from repro.orchestrator.controller import Orchestrator
+from repro.scheduler.binpack import BinpackScheduler
+from repro.units import gib, mib, pages
+from repro.workload.hybrid import HybridStressor, hybrid_pod_spec
+
+
+class TestHybridStressor:
+    def test_profile_has_both_dimensions(self):
+        profile = HybridStressor(
+            epc_bytes=mib(10), memory_bytes=gib(1)
+        ).profile(60.0)
+        assert profile.epc_pages == pages(mib(10))
+        assert profile.memory_bytes == gib(1)
+        assert profile.uses_sgx
+
+    def test_trusted_part_required(self):
+        with pytest.raises(TraceError, match="trusted part"):
+            HybridStressor(epc_bytes=0, memory_bytes=gib(1))
+
+    def test_negative_memory_rejected(self):
+        with pytest.raises(TraceError):
+            HybridStressor(epc_bytes=mib(1), memory_bytes=-1)
+
+
+class TestHybridScheduling:
+    def test_hybrid_pod_lands_on_sgx_node(self):
+        orchestrator = Orchestrator(paper_cluster())
+        pod = orchestrator.submit(
+            hybrid_pod_spec(
+                "hy",
+                duration_seconds=60.0,
+                declared_epc_bytes=mib(10),
+                declared_memory_bytes=gib(2),
+            ),
+            now=0.0,
+        )
+        orchestrator.scheduling_pass(BinpackScheduler(), now=1.0)
+        assert pod.node_name.startswith("sgx-worker")
+
+    def test_both_dimensions_accounted(self):
+        orchestrator = Orchestrator(paper_cluster())
+        pod = orchestrator.submit(
+            hybrid_pod_spec(
+                "hy",
+                duration_seconds=60.0,
+                declared_epc_bytes=mib(10),
+                declared_memory_bytes=gib(2),
+            ),
+            now=0.0,
+        )
+        orchestrator.scheduling_pass(BinpackScheduler(), now=1.0)
+        orchestrator.start_pod(pod, now=1.5)
+        node = orchestrator.cluster.node(pod.node_name)
+        assert node.used_epc_pages() == pages(mib(10))
+        assert node.used_memory_bytes() == gib(2)
+
+    def test_ram_bound_hybrid_defers_despite_free_epc(self):
+        # Four 4 GiB hybrid pods exceed one SGX node's 8 GiB; with tiny
+        # EPC requests, memory is what defers the overflow.
+        orchestrator = Orchestrator(paper_cluster())
+        for index in range(5):
+            orchestrator.submit(
+                hybrid_pod_spec(
+                    f"hy-{index}",
+                    duration_seconds=600.0,
+                    declared_epc_bytes=mib(1),
+                    declared_memory_bytes=gib(4),
+                ),
+                now=0.0,
+            )
+        result = orchestrator.scheduling_pass(BinpackScheduler(), now=1.0)
+        # 2 SGX nodes x 8 GiB fit two 4 GiB pods each; the fifth waits
+        # even though the EPC is essentially empty.
+        assert len(result.launched) == 4
+        assert len(result.deferred) == 1
+
+
+class TestHybridSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ext_hybrid(n_jobs=30, shares_gib=(0.0625, 4.0))
+
+    def test_memory_binds_at_large_shares(self, result):
+        small = result.runs[0.0625]
+        large = result.runs[4.0]
+        assert small.binding_resource == "epc"
+        assert large.binding_resource == "memory"
+
+    def test_epc_strands_as_memory_binds(self, result):
+        assert (
+            result.runs[4.0].peak_epc_utilization
+            < result.runs[0.0625].peak_epc_utilization
+        )
+
+    def test_makespan_grows_with_memory_share(self, result):
+        assert (
+            result.runs[4.0].makespan_seconds
+            >= result.runs[0.0625].makespan_seconds
+        )
+
+    def test_format(self, result):
+        text = format_ext_hybrid(result)
+        assert "binds" in text
