@@ -1,0 +1,135 @@
+"""State-cache benchmark runner: emits ``BENCH_state_cache.json``.
+
+Measures the scheduler's per-pass snapshot latency — the two Listing-1
+sliding-window queries behind ``ClusterStateService.build_views`` — with
+the full InfluxQL window scan versus the incremental
+:class:`~repro.monitoring.aggregate.WindowedAggregateCache`, across
+cluster sizes.  Run it from the repo root::
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+
+The JSON lands next to this repo's README so the perf trajectory of the
+hot path is tracked from PR to PR.  The pytest wrapper
+(``test_ext_state_cache.py``) reuses the same workload builder.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.constants import METRICS_WINDOW_SECONDS  # noqa: E402
+from repro.monitoring.aggregate import WindowedAggregateCache  # noqa: E402
+from repro.monitoring.heapster import MEASUREMENT_MEMORY  # noqa: E402
+from repro.monitoring.probe import MEASUREMENT_EPC  # noqa: E402
+from repro.monitoring.tsdb import TimeSeriesDatabase  # noqa: E402
+from repro.scheduler.base import ClusterStateService  # noqa: E402
+
+#: Simulated pass time; all windows are evaluated at this instant.
+NOW = 600.0
+#: In-window samples per pod per measurement (25 s window, ~6 s apart —
+#: a denser probe cadence than the paper's 10 s default, as a scaled
+#: deployment would configure).
+SAMPLES_PER_POD = 5
+#: History points per pod outside the window (pruned by the time bound).
+HISTORY_PER_POD = 2
+#: Fraction of pods that are SGX jobs with EPC samples.
+SGX_FRACTION = 0.5
+
+
+def build_state(n_pods: int, use_cache: bool):
+    """A TSDB populated like a cluster of *n_pods* mid-replay."""
+    db = TimeSeriesDatabase(retention_seconds=3600.0)
+    cache = (
+        WindowedAggregateCache(db, window_seconds=METRICS_WINDOW_SECONDS)
+        if use_cache
+        else None
+    )
+    n_nodes = max(4, n_pods // 100)
+    for index in range(n_pods):
+        tags = {
+            "pod_name": f"pod-{index}",
+            "nodename": f"node-{index % n_nodes}",
+        }
+        is_sgx = index < n_pods * SGX_FRACTION
+        for h in range(HISTORY_PER_POD):
+            t = NOW - 120.0 + 30.0 * h
+            db.write(MEASUREMENT_MEMORY, value=1e6 + index, time=t, tags=tags)
+        for s in range(SAMPLES_PER_POD):
+            t = NOW - 24.0 + 6.0 * s
+            db.write(
+                MEASUREMENT_MEMORY,
+                value=1e6 + index * 10.0 + s,
+                time=t,
+                tags=tags,
+            )
+            if is_sgx:
+                db.write(
+                    MEASUREMENT_EPC,
+                    value=100.0 + index + s,
+                    time=t,
+                    tags=tags,
+                )
+    service = ClusterStateService(
+        [], db, window_seconds=METRICS_WINDOW_SECONDS, cache=cache
+    )
+    return db, service
+
+
+def time_snapshot(service: ClusterStateService, repeats: int) -> float:
+    """Median seconds of one measured-usage snapshot at ``NOW``."""
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        service._measured_usage(NOW)
+        timings.append(time.perf_counter() - start)
+    return statistics.median(timings)
+
+
+def run(sizes=(250, 1000, 2000), repeats=9) -> dict:
+    results = []
+    for n_pods in sizes:
+        _, full_service = build_state(n_pods, use_cache=False)
+        _, cached_service = build_state(n_pods, use_cache=True)
+        full_s = time_snapshot(full_service, repeats)
+        cached_s = time_snapshot(cached_service, repeats)
+        results.append(
+            {
+                "pods": n_pods,
+                "series": n_pods + int(n_pods * SGX_FRACTION),
+                "full_scan_ms": round(full_s * 1e3, 4),
+                "cached_ms": round(cached_s * 1e3, 4),
+                "speedup": round(full_s / cached_s, 2),
+            }
+        )
+    return {
+        "benchmark": "state_cache",
+        "window_seconds": METRICS_WINDOW_SECONDS,
+        "samples_per_pod": SAMPLES_PER_POD,
+        "sgx_fraction": SGX_FRACTION,
+        "results": results,
+    }
+
+
+def main() -> None:
+    report = run()
+    out_path = Path(__file__).resolve().parent.parent / (
+        "BENCH_state_cache.json"
+    )
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    for row in report["results"]:
+        print(
+            f"{row['pods']:>6} pods: full {row['full_scan_ms']:.3f} ms  "
+            f"cached {row['cached_ms']:.3f} ms  "
+            f"speedup {row['speedup']:.1f}x"
+        )
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

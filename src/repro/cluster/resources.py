@@ -10,7 +10,7 @@ against a capacity, and utilisation ratios.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from ..errors import ResourceError
 from ..units import fmt_bytes, pages_to_mib
@@ -113,6 +113,46 @@ class ResourceVector:
     def dominant_utilization(self, capacity: "ResourceVector") -> float:
         """The max utilisation ratio across dimensions (binpack score)."""
         return max(self.utilization_of(capacity).values())
+
+    def dominant_finite_utilization(
+        self,
+        capacity: "ResourceVector",
+        extra: Optional["ResourceVector"] = None,
+    ) -> float:
+        """Max utilisation against *capacity*, skipping infinite ratios.
+
+        The scheduler's node-load score: dimensions the node lacks
+        (zero capacity under demand) are ignored rather than reported
+        as ``inf``.  With *extra*, scores the hypothetical total
+        ``self + extra`` — computed straight from the components, so
+        per-candidate hot paths allocate no intermediate vector or
+        dict.  Returns 0.0 when every dimension is ignored.
+        """
+        if extra is None:
+            pairs = (
+                (self.cpu_millicores, capacity.cpu_millicores),
+                (self.memory_bytes, capacity.memory_bytes),
+                (self.epc_pages, capacity.epc_pages),
+            )
+        else:
+            pairs = (
+                (self.cpu_millicores + extra.cpu_millicores,
+                 capacity.cpu_millicores),
+                (self.memory_bytes + extra.memory_bytes,
+                 capacity.memory_bytes),
+                (self.epc_pages + extra.epc_pages, capacity.epc_pages),
+            )
+        best = None
+        for demand, limit in pairs:
+            if limit == 0:
+                if demand > 0:
+                    continue  # dimension the node lacks: inf, ignored
+                ratio = 0.0
+            else:
+                ratio = demand / limit
+            if best is None or ratio > best:
+                best = ratio
+        return 0.0 if best is None else best
 
     def __repr__(self) -> str:
         return (

@@ -11,13 +11,16 @@ in-memory equivalent:
   ``GROUP BY``);
 * :mod:`repro.monitoring.heapster` — the standard-memory collector;
 * :mod:`repro.monitoring.probe` — the SGX EPC probe deployed per node as a
-  DaemonSet payload, reading the patched driver's counters.
+  DaemonSet payload, reading the patched driver's counters;
+* :mod:`repro.monitoring.aggregate` — the write-through sliding-window
+  aggregate cache that answers Listing 1's inner query incrementally.
 """
 
 from .tsdb import Point, TimeSeriesDatabase
 from .influxql import InfluxQLError, execute_query, parse_query
 from .heapster import Heapster, MEASUREMENT_MEMORY
 from .probe import SgxMetricsProbe, MEASUREMENT_EPC
+from .aggregate import SeriesAggregate, WindowedAggregateCache
 
 __all__ = [
     "Heapster",
@@ -25,8 +28,10 @@ __all__ = [
     "MEASUREMENT_EPC",
     "MEASUREMENT_MEMORY",
     "Point",
+    "SeriesAggregate",
     "SgxMetricsProbe",
     "TimeSeriesDatabase",
+    "WindowedAggregateCache",
     "execute_query",
     "parse_query",
 ]

@@ -1,0 +1,345 @@
+"""Incremental sliding-window aggregates over the time-series database.
+
+The paper's scheduler rebuilds its cluster view on every pass by running
+Listing 1's sliding-window InfluxQL queries — a full scan over every
+point in the window, per measurement, per pass.  That is O(passes ×
+window-points) over a whole replay.  This module makes the hot query
+shape incremental instead:
+
+:class:`WindowedAggregateCache` subscribes to
+:class:`~repro.monitoring.tsdb.TimeSeriesDatabase` writes and maintains,
+for every ``(measurement, nodename, pod_name)`` series, a rolling
+sliding-window MAX using the classic monotonic-deque algorithm:
+
+* each write is absorbed in O(1) amortised time;
+* a :meth:`snapshot` answers Listing 1's inner query — ``SELECT
+  MAX(value) FROM m WHERE value <> 0 AND time >= now() - Ws GROUP BY
+  pod_name, nodename`` — in O(live series), never touching the stored
+  points;
+* expiry is lazy (front-of-deque pops at snapshot time) and mirrors the
+  database's retention machinery: :meth:`on_vacuum` records the vacuum
+  cutoff and the next snapshot expires exactly the points the TSDB
+  dropped, so cache and store never disagree.
+
+Bit-for-bit equivalence with the full scan is preserved even for inputs
+the incremental algorithm cannot handle: out-of-order writes mark the
+measurement dirty (rebuilt from one scan on the next snapshot), and
+queries whose ``now`` lies before already-absorbed data or already-expired
+state return ``None`` from :meth:`snapshot`, telling the caller to fall
+back to the ordinary full scan.  The simulation's monotone clock never
+takes either path, so the replay hot loop stays incremental.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..errors import MonitoringError
+from .tsdb import Point, TimeSeriesDatabase
+
+logger = logging.getLogger(__name__)
+
+#: Series key: ``(nodename, pod_name)`` tag values (either may be None
+#: when a point lacks the tag, mirroring the executor's GROUP BY).
+SeriesKey = Tuple[Optional[str], Optional[str]]
+
+
+@dataclass(frozen=True)
+class SeriesAggregate:
+    """One live series' window aggregate, as Listing 1 reports it.
+
+    ``max_value`` is the maximum non-zero value in the window;
+    ``latest_time`` is the timestamp of the newest contributing point
+    (the ``time`` column the InfluxQL executor attaches to each group).
+    """
+
+    nodename: Optional[str]
+    pod_name: Optional[str]
+    max_value: float
+    latest_time: float
+
+
+class _SeriesState:
+    """Deques of one ``(measurement, nodename, pod_name)`` series.
+
+    ``times`` holds ``(time, seq)`` for every live non-zero point, in
+    arrival order — its front is the series' discovery position in a
+    full scan, its back the newest sample.  ``maxdeque`` holds the
+    monotonic max structure: times ascending, values strictly
+    decreasing, front = window maximum after expiry.
+    """
+
+    __slots__ = ("times", "maxdeque")
+
+    def __init__(self) -> None:
+        self.times: Deque[Tuple[float, int]] = deque()
+        self.maxdeque: Deque[Tuple[float, float]] = deque()
+
+    def expire(self, cutoff: float) -> None:
+        """Drop points with ``time < cutoff`` from both deques."""
+        times = self.times
+        while times and times[0][0] < cutoff:
+            times.popleft()
+        maxdeque = self.maxdeque
+        while maxdeque and maxdeque[0][0] < cutoff:
+            maxdeque.popleft()
+
+
+class _MeasurementState:
+    """All series of one measurement plus the validity watermarks."""
+
+    __slots__ = ("series", "max_time", "hwm", "vacuum_floor", "dirty")
+
+    def __init__(self, dirty: bool = False) -> None:
+        self.series: Dict[SeriesKey, _SeriesState] = {}
+        #: Newest non-zero point time absorbed; queries earlier than
+        #: this would wrongly see "future" points, so they fall back.
+        self.max_time = float("-inf")
+        #: Highest snapshot ``now`` whose expiry mutated the deques;
+        #: queries earlier than this may need already-expired points.
+        self.hwm = float("-inf")
+        #: Highest retention-vacuum cutoff seen; points below it are
+        #: gone from the store, so snapshots must not serve them.
+        self.vacuum_floor = float("-inf")
+        self.dirty = dirty
+
+
+class WindowedAggregateCache:
+    """Write-through sliding-window MAX cache over a TSDB.
+
+    Construction subscribes to *db* (and publishes itself as
+    ``db.aggregate_cache`` so the InfluxQL executor's fast path can find
+    it).  Measurements already holding points are marked dirty and
+    rebuilt from one scan on first use.
+
+    Parameters
+    ----------
+    db:
+        The database to mirror.
+    window_seconds:
+        The sliding-window length; must match the ``now() - Ws`` bound
+        of the queries the cache is meant to answer.
+    """
+
+    def __init__(self, db: TimeSeriesDatabase, window_seconds: float):
+        if window_seconds <= 0:
+            raise MonitoringError(
+                f"window must be positive, got {window_seconds}"
+            )
+        self.db = db
+        self.window_seconds = window_seconds
+        self._measurements: Dict[str, _MeasurementState] = {}
+        self._seq = 0
+        self._detached = False
+        # Stats: snapshots answered, fallbacks to full scan, rebuilds.
+        self.hits = 0
+        self.fallbacks = 0
+        self.rebuilds = 0
+        # One write-through cache per database: a displaced cache would
+        # either absorb every write twice (if left subscribed) or serve
+        # stale windows (if silently unsubscribed), so replace it
+        # explicitly — it detaches and declines all future queries.
+        existing = getattr(db, "aggregate_cache", None)
+        if existing is not None:
+            logger.warning(
+                "replacing aggregate cache (window %ss) with a new one "
+                "(window %ss); holders of the old cache fall back to "
+                "full window scans",
+                existing.window_seconds, window_seconds,
+            )
+            existing.detach()
+        for measurement in db.measurements():
+            self._measurements[measurement] = _MeasurementState(dirty=True)
+        db.subscribe(self)
+        db.aggregate_cache = self
+
+    def detach(self) -> None:
+        """Stop mirroring the database and stop answering queries.
+
+        Idempotent.  Holders of a detached cache fall back to the full
+        scan on every query (snapshots return ``None``), which stays
+        correct — a detached cache never serves stale windows.
+        """
+        if self._detached:
+            return
+        self._detached = True
+        self.db.unsubscribe(self)
+        self._measurements.clear()
+
+    # -- subscriber interface (driven by the TSDB) -----------------------
+
+    def on_write(self, measurement: str, point: Point) -> None:
+        """Absorb one appended point.  O(1) amortised."""
+        state = self._measurements.get(measurement)
+        if state is None:
+            state = _MeasurementState()
+            self._measurements[measurement] = state
+        if point.value == 0.0:
+            # Listing 1 filters ``value <> 0``; zero samples can never
+            # contribute to a window max, so they are not retained.
+            return
+        if point.time > state.max_time:
+            state.max_time = point.time
+        if point.time < state.vacuum_floor:
+            # The store keeps this point (vacuums only drop what was
+            # present at vacuum time) but the lazy floor would expire
+            # it; rebuild from the store rather than serve a mismatch.
+            state.dirty = True
+            return
+        key = (point.tag("nodename"), point.tag("pod_name"))
+        series = state.series.get(key)
+        if series is None:
+            series = _SeriesState()
+            state.series[key] = series
+        if series.times and point.time < series.times[-1][0]:
+            # Out-of-order arrival: the monotonic deque cannot absorb
+            # it incrementally; rebuild lazily from the store.
+            state.dirty = True
+            return
+        self._push(series, point)
+
+    def on_vacuum(self, cutoff: float) -> None:
+        """Mirror a retention vacuum — lazily.
+
+        Auto-vacuums fire every 256 writes; walking every series each
+        time would swamp the O(1)-per-write absorption.  Instead the
+        cutoff is recorded and folded into the next snapshot's expiry,
+        which already walks exactly the live series once.
+        """
+        for state in self._measurements.values():
+            if cutoff > state.vacuum_floor:
+                state.vacuum_floor = cutoff
+
+    def on_drop(self, measurement: str) -> None:
+        """Mirror a dropped measurement."""
+        self._measurements.pop(measurement, None)
+
+    # -- queries ---------------------------------------------------------
+
+    def _live_series(
+        self, measurement: str, now: float, ordered: bool
+    ) -> Optional[List[Tuple[SeriesKey, _SeriesState]]]:
+        """Expire and return the series alive in ``[now - window, now]``.
+
+        ``None`` means the cache cannot guarantee equivalence with a
+        full scan — *now* earlier than absorbed data or than a previous
+        snapshot's expiry — and the caller must fall back.  With
+        ``ordered`` the result follows full-scan group-discovery order
+        (by each series' oldest in-window point).
+        """
+        if self._detached:
+            self.fallbacks += 1
+            return None
+        state = self._measurements.get(measurement)
+        if state is None:
+            if self.db.count(measurement) == 0:
+                self.hits += 1
+                return []
+            # Data exists the cache never saw (defensive; construction
+            # marks pre-existing measurements dirty).
+            self.fallbacks += 1
+            return None
+        if state.dirty:
+            self._rebuild(measurement, state)
+        if now < state.max_time or now < state.hwm:
+            self.fallbacks += 1
+            return None
+        cutoff = now - self.window_seconds
+        if state.vacuum_floor > cutoff:
+            # Retention cut inside the window: the store no longer has
+            # those points, so the cache must not serve them either.
+            cutoff = state.vacuum_floor
+        state.hwm = now
+        live: List[Tuple[SeriesKey, _SeriesState]] = []
+        dead: List[SeriesKey] = []
+        for key, series in state.series.items():
+            series.expire(cutoff)
+            if not series.times:
+                dead.append(key)
+                continue
+            live.append((key, series))
+        for key in dead:
+            del state.series[key]
+        if ordered:
+            live.sort(key=lambda entry: entry[1].times[0])
+        self.hits += 1
+        return live
+
+    def snapshot(
+        self, measurement: str, now: float
+    ) -> Optional[List[SeriesAggregate]]:
+        """Window aggregates of *measurement* at *now*, or ``None``.
+
+        Returns one :class:`SeriesAggregate` per series with at least
+        one non-zero point in ``[now - window, now]``, ordered exactly
+        as a full InfluxQL scan discovers the groups.  ``None`` tells
+        the caller to run the full scan instead (see
+        :meth:`_live_series`).
+        """
+        live = self._live_series(measurement, now, ordered=True)
+        if live is None:
+            return None
+        return [
+            SeriesAggregate(
+                nodename=key[0],
+                pod_name=key[1],
+                max_value=series.maxdeque[0][1],
+                latest_time=series.times[-1][0],
+            )
+            for key, series in live
+        ]
+
+    def window_maxima(
+        self, measurement: str, now: float
+    ) -> Optional[List[Tuple[Optional[str], Optional[str], float]]]:
+        """Lean ``(nodename, pod_name, max_value)`` rows at *now*.
+
+        The scheduler's per-pass hot path: same liveness and values as
+        :meth:`snapshot`, but plain tuples and no ordering guarantee —
+        callers that reduce into a map (one entry per series, keys are
+        unique) don't pay for discovery-order sorting or dataclasses.
+        ``None`` means fall back to the full scan.
+        """
+        live = self._live_series(measurement, now, ordered=False)
+        if live is None:
+            return None
+        return [
+            (key[0], key[1], series.maxdeque[0][1]) for key, series in live
+        ]
+
+    def live_series(self, measurement: str) -> int:
+        """Number of series currently tracked for *measurement*."""
+        state = self._measurements.get(measurement)
+        return len(state.series) if state else 0
+
+    # -- internals -------------------------------------------------------
+
+    def _push(self, series: _SeriesState, point: Point) -> None:
+        seq = self._seq
+        self._seq = seq + 1
+        series.times.append((point.time, seq))
+        maxdeque = series.maxdeque
+        while maxdeque and maxdeque[-1][1] <= point.value:
+            maxdeque.pop()
+        maxdeque.append((point.time, point.value))
+
+    def _rebuild(self, measurement: str, state: _MeasurementState) -> None:
+        """Reconstruct a measurement's deques from one full scan.
+
+        Replays the stored points through :meth:`on_write` so rebuilt
+        state follows exactly the incremental absorption rules; the
+        scan is time-sorted, so the out-of-order branch never fires.
+        """
+        state.series = {}
+        state.max_time = float("-inf")
+        state.hwm = float("-inf")
+        # The store is ground truth: whatever a past vacuum dropped is
+        # already absent from the scan, so no floor needs reapplying.
+        state.vacuum_floor = float("-inf")
+        state.dirty = False
+        self.rebuilds += 1
+        for point in self.db.scan(measurement):
+            self.on_write(measurement, point)

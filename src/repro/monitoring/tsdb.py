@@ -9,13 +9,20 @@ retention policy.
 Timestamps are simulation-time ``float`` seconds — the database never
 consults the wall clock; callers pass ``now`` explicitly, which keeps the
 discrete-event simulation deterministic.
+
+Mutations can be observed: :meth:`TimeSeriesDatabase.subscribe` registers
+a subscriber notified of every appended point (``on_write``), every
+retention vacuum (``on_vacuum``) and every dropped measurement
+(``on_drop``).  The windowed-aggregate cache
+(:mod:`repro.monitoring.aggregate`) uses this to stay write-through
+consistent without the database knowing anything about aggregation.
 """
 
 from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Protocol, Tuple
 
 from ..errors import MonitoringError
 
@@ -80,6 +87,22 @@ class _Series:
         return removed
 
 
+class DatabaseSubscriber(Protocol):
+    """Observer of database mutations (see :meth:`subscribe`)."""
+
+    def on_write(self, measurement: str, point: Point) -> None:
+        """One point was appended to *measurement*."""
+        ...  # pragma: no cover - protocol
+
+    def on_vacuum(self, cutoff: float) -> None:
+        """Retention dropped all points with ``time < cutoff``."""
+        ...  # pragma: no cover - protocol
+
+    def on_drop(self, measurement: str) -> None:
+        """*measurement* was removed entirely."""
+        ...  # pragma: no cover - protocol
+
+
 class TimeSeriesDatabase:
     """Tagged time-series store with range scans and retention.
 
@@ -98,6 +121,37 @@ class TimeSeriesDatabase:
         self.retention_seconds = retention_seconds
         self._series: Dict[str, _Series] = {}
         self._writes = 0
+        self._subscribers: List[DatabaseSubscriber] = []
+        #: Range scans served (reads of stored points); lets tests and
+        #: benchmarks assert the aggregate cache's zero-scan property.
+        self.scan_count = 0
+        #: The attached :class:`~repro.monitoring.aggregate.
+        #: WindowedAggregateCache`, if any — the InfluxQL executor's
+        #: fast path looks here.
+        self.aggregate_cache = None
+
+    # -- observation ---------------------------------------------------------
+
+    def subscribe(self, subscriber: DatabaseSubscriber) -> None:
+        """Notify *subscriber* of every write, vacuum and drop."""
+        self._subscribers.append(subscriber)
+
+    def unsubscribe(self, subscriber: DatabaseSubscriber) -> bool:
+        """Stop notifying *subscriber*; returns whether it was found.
+
+        A subscriber exposing ``detach()`` (the aggregate cache) is
+        detached as well, so holders of a removed cache fall back to
+        full scans instead of silently serving frozen state.
+        """
+        if subscriber in self._subscribers:
+            self._subscribers.remove(subscriber)
+            if self.aggregate_cache is subscriber:
+                self.aggregate_cache = None
+            detach = getattr(subscriber, "detach", None)
+            if detach is not None:
+                detach()
+            return True
+        return False
 
     # -- writes -------------------------------------------------------------
 
@@ -112,8 +166,11 @@ class TimeSeriesDatabase:
         if not measurement:
             raise MonitoringError("empty measurement name")
         series = self._series.setdefault(measurement, _Series())
-        series.insert(Point.make(time=time, value=value, tags=tags))
+        point = Point.make(time=time, value=value, tags=tags)
+        series.insert(point)
         self._writes += 1
+        for subscriber in self._subscribers:
+            subscriber.on_write(measurement, point)
         if self.retention_seconds is not None and self._writes % 256 == 0:
             self.vacuum(now=time)
 
@@ -125,6 +182,8 @@ class TimeSeriesDatabase:
         for point in points:
             series.insert(point)
             self._writes += 1
+            for subscriber in self._subscribers:
+                subscriber.on_write(measurement, point)
 
     # -- reads --------------------------------------------------------------
 
@@ -142,6 +201,7 @@ class TimeSeriesDatabase:
 
         Unknown measurements scan as empty, mirroring InfluxDB.
         """
+        self.scan_count += 1
         series = self._series.get(measurement)
         if series is None:
             return []
@@ -172,14 +232,19 @@ class TimeSeriesDatabase:
         if self.retention_seconds is None:
             return 0
         cutoff = now - self.retention_seconds
-        return sum(
+        removed = sum(
             series.vacuum_before(cutoff)
             for series in self._series.values()
         )
+        for subscriber in self._subscribers:
+            subscriber.on_vacuum(cutoff)
+        return removed
 
     def drop_measurement(self, measurement: str) -> None:
         """Remove a measurement entirely."""
         self._series.pop(measurement, None)
+        for subscriber in self._subscribers:
+            subscriber.on_drop(measurement)
 
     def __len__(self) -> int:
         return sum(len(s.points) for s in self._series.values())

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 from ..cluster.topology import Cluster
 from ..constants import METRICS_WINDOW_SECONDS
 from ..errors import OrchestrationError
+from ..monitoring.aggregate import WindowedAggregateCache
 from ..monitoring.heapster import Heapster
 from ..monitoring.probe import SgxMetricsProbe
 from ..monitoring.tsdb import TimeSeriesDatabase
@@ -68,9 +69,33 @@ class Orchestrator:
         metrics_window_seconds: float = METRICS_WINDOW_SECONDS,
         enforce_memory_limits: bool = False,
         registry: Optional[ImageRegistry] = None,
+        use_state_cache: bool = True,
     ):
         self.cluster = cluster
-        self.db = db or TimeSeriesDatabase(retention_seconds=3600.0)
+        # Explicit None check: an empty TimeSeriesDatabase is falsy
+        # (len == 0), and ``db or ...`` would silently discard it.
+        self.db = (
+            db if db is not None
+            else TimeSeriesDatabase(retention_seconds=3600.0)
+        )
+        # Incremental cluster-state cache: keeps the sliding-window
+        # maxima the scheduling pass needs up to date on every metrics
+        # write, so build_views never re-scans the TSDB window.  A
+        # caller-supplied db may already carry a cache (e.g. two
+        # orchestrators sharing one database); reuse it rather than
+        # stacking a second subscriber over the same window.
+        self.aggregate_cache: Optional[WindowedAggregateCache] = None
+        if use_state_cache:
+            existing = getattr(self.db, "aggregate_cache", None)
+            if (
+                existing is not None
+                and existing.window_seconds == metrics_window_seconds
+            ):
+                self.aggregate_cache = existing
+            else:
+                self.aggregate_cache = WindowedAggregateCache(
+                    self.db, window_seconds=metrics_window_seconds
+                )
         self.perf_model = perf_model or SgxPerfModel()
         self.registry = registry
         self.kubelets: Dict[str, Kubelet] = {}
@@ -100,6 +125,8 @@ class Orchestrator:
             list(self.kubelets.values()),
             self.db,
             window_seconds=metrics_window_seconds,
+            cache=self.aggregate_cache,
+            allow_query_cache=use_state_cache,
         )
         self.queue = PendingQueue()
         self.all_pods: List[Pod] = []

@@ -15,18 +15,22 @@ The pieces every strategy shares:
 from __future__ import annotations
 
 import abc
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cluster.resources import ResourceVector
 from ..constants import METRICS_WINDOW_SECONDS
 from ..errors import SchedulingError
+from ..monitoring.aggregate import WindowedAggregateCache
 from ..monitoring.influxql import execute_query, parse_query
 from ..monitoring.heapster import MEASUREMENT_MEMORY
 from ..monitoring.probe import MEASUREMENT_EPC
 from ..orchestrator.kubelet import Kubelet
 from ..orchestrator.pod import Pod
 from .filtering import can_ever_fit, feasible_nodes, prefer_non_sgx
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -56,12 +60,7 @@ class NodeView:
         Ignores dimensions the node does not have (EPC on standard
         nodes), so heterogeneous nodes compare sensibly.
         """
-        ratios = [
-            ratio
-            for ratio in self.used.utilization_of(self.capacity).values()
-            if ratio != float("inf")
-        ]
-        return max(ratios) if ratios else 0.0
+        return self.used.dominant_finite_utilization(self.capacity)
 
     def reserve(self, requests: ResourceVector) -> None:
         """Account an in-pass assignment against this node."""
@@ -69,15 +68,17 @@ class NodeView:
         self.committed = self.committed + requests
 
     def load_after(self, requests: ResourceVector) -> float:
-        """The load this node would have after placing *requests*."""
-        hypothetical = NodeView(
-            name=self.name,
-            sgx_capable=self.sgx_capable,
-            capacity=self.capacity,
-            used=self.used + requests,
-            committed=self.committed,
+        """The load this node would have after placing *requests*.
+
+        Evaluated once per candidate per pod on the spread/binpack hot
+        path; shares :attr:`load`'s semantics via the same
+        :meth:`~repro.cluster.resources.ResourceVector.
+        dominant_finite_utilization` helper, without allocating a
+        hypothetical view or intermediate vector.
+        """
+        return self.used.dominant_finite_utilization(
+            self.capacity, extra=requests
         )
-        return hypothetical.load
 
 
 @dataclass(frozen=True)
@@ -109,17 +110,50 @@ _PER_POD_QUERY = (
 
 
 class ClusterStateService:
-    """Builds :class:`NodeView` snapshots from Kubelets plus the TSDB."""
+    """Builds :class:`NodeView` snapshots from Kubelets plus the TSDB.
+
+    The measured view comes from Listing 1's inner query, one run per
+    measurement per pass.  When a
+    :class:`~repro.monitoring.aggregate.WindowedAggregateCache` is
+    supplied (the orchestrator wires one by default), each pass consumes
+    an incremental cache snapshot — O(live series) — instead of
+    re-scanning every point in the window; the cache window must equal
+    ``window_seconds`` so both paths answer the identical query.  Passes
+    the cache cannot serve (non-monotone clocks, cold state) fall back
+    to the full InfluxQL scan, which produces bit-for-bit the same rows.
+
+    Rows missing the ``nodename`` or ``pod_name`` tag cannot be
+    attributed to a pod; they are skipped and counted in
+    :attr:`malformed_rows_skipped` rather than silently folded into a
+    shared ``(None, ...)`` bucket.
+    """
 
     def __init__(
         self,
         kubelets: Sequence[Kubelet],
         db,
         window_seconds: float = METRICS_WINDOW_SECONDS,
+        cache: Optional[WindowedAggregateCache] = None,
+        allow_query_cache: bool = True,
     ):
+        if cache is not None and cache.window_seconds != window_seconds:
+            raise SchedulingError(
+                f"state cache window {cache.window_seconds}s does not "
+                f"match the query window {window_seconds}s"
+            )
         self.kubelets = list(kubelets)
         self.db = db
         self.window_seconds = window_seconds
+        self.cache = cache
+        #: When False, full scans bypass the InfluxQL fast path too —
+        #: a shared db may carry a cache attached by another owner, and
+        #: a caller that disabled caching must really measure the scan.
+        self.allow_query_cache = allow_query_cache
+        #: Malformed-row *observations*: a row missing its
+        #: ``nodename``/``pod_name`` tags is counted on every pass it
+        #: stays inside the window, so this tracks exposure, not
+        #: distinct rows.
+        self.malformed_rows_skipped = 0
         self._epc_query = parse_query(
             _PER_POD_QUERY.format(
                 measurement=MEASUREMENT_EPC, window=window_seconds
@@ -131,20 +165,66 @@ class ClusterStateService:
             )
         )
 
-    def _measured_usage(self, now: float) -> Dict[Tuple[str, str], ResourceVector]:
-        """Per (node, pod) measured usage from the sliding-window queries."""
-        measured: Dict[Tuple[str, str], ResourceVector] = {}
-        for row in execute_query(self._memory_query, self.db, now):
-            key = (row.get("nodename"), row.get("pod_name"))
-            vector = measured.get(key, ResourceVector.zero())
-            measured[key] = vector + ResourceVector(
-                memory_bytes=int(row.get("usage", 0.0))
+    def _window_maxima(
+        self, measurement: str, query, now: float
+    ) -> List[Tuple[Optional[str], Optional[str], float]]:
+        """Per-series ``(nodename, pod_name, max)`` over the window."""
+        if self.cache is not None and self.allow_query_cache:
+            maxima = self.cache.window_maxima(measurement, now)
+            if maxima is not None:
+                return maxima
+        return [
+            (row.get("nodename"), row.get("pod_name"), row.get("usage", 0.0))
+            for row in execute_query(
+                query, self.db, now,
+                allow_fast_path=self.allow_query_cache,
             )
-        for row in execute_query(self._epc_query, self.db, now):
-            key = (row.get("nodename"), row.get("pod_name"))
-            vector = measured.get(key, ResourceVector.zero())
-            measured[key] = vector + ResourceVector(
-                epc_pages=int(row.get("usage", 0.0))
+        ]
+
+    def _measured_usage(
+        self, now: float
+    ) -> Dict[Tuple[str, str], Tuple[int, int]]:
+        """Per (node, pod) measured ``(memory_bytes, epc_pages)``.
+
+        Runs once per pass over every live series, so the reduction
+        stays on plain ints — :meth:`build_views` folds the pairs into
+        its per-node vectors.  Each measurement yields one row per
+        ``(node, pod)`` group, so plain assignment per measurement is a
+        correct accumulation.
+        """
+        measured: Dict[Tuple[str, str], Tuple[int, int]] = {}
+        skipped = 0
+        for node, pod, usage in self._window_maxima(
+            MEASUREMENT_MEMORY, self._memory_query, now
+        ):
+            if node is None or pod is None:
+                skipped += 1
+                continue
+            measured[(node, pod)] = (int(usage), 0)
+        for node, pod, usage in self._window_maxima(
+            MEASUREMENT_EPC, self._epc_query, now
+        ):
+            if node is None or pod is None:
+                skipped += 1
+                continue
+            key = (node, pod)
+            entry = measured.get(key)
+            measured[key] = (entry[0] if entry else 0, int(usage))
+        if skipped:
+            # Malformed rows persist in the window across passes; warn
+            # on first sight only so the scheduling loop cannot flood
+            # the log, then keep the running count at debug level.
+            level = (
+                logging.WARNING
+                if self.malformed_rows_skipped == 0
+                else logging.DEBUG
+            )
+            self.malformed_rows_skipped += skipped
+            logger.log(
+                level,
+                "dropped %d monitoring row(s) missing nodename/pod_name "
+                "tags at t=%.1f (%d total)",
+                skipped, now, self.malformed_rows_skipped,
             )
         return measured
 
@@ -167,10 +247,11 @@ class ClusterStateService:
                 sample = measured.get(key)
                 if sample is not None:
                     # CPU is not measured; carry the declared value.
+                    memory_bytes, epc_pages = sample
                     used = used + ResourceVector(
                         cpu_millicores=pod.spec.resources.requests.cpu_millicores,
-                        memory_bytes=sample.memory_bytes,
-                        epc_pages=sample.epc_pages,
+                        memory_bytes=memory_bytes,
+                        epc_pages=epc_pages,
                     )
                 else:
                     used = used + pod.spec.resources.requests

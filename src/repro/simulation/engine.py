@@ -21,18 +21,30 @@ Action = Callable[[], None]
 class EventHandle:
     """A scheduled event that can be cancelled before it fires."""
 
-    __slots__ = ("time", "seq", "action", "cancelled")
+    __slots__ = ("time", "seq", "action", "cancelled", "_engine")
 
-    def __init__(self, time: float, seq: int, action: Action):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        action: Action,
+        engine: Optional["SimulationEngine"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.action: Optional[Action] = action
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent."""
+        """Prevent the event from firing.  Idempotent; cancelling an
+        already-fired event is a no-op."""
+        if self.cancelled or self.action is None:
+            return
         self.cancelled = True
         self.action = None
+        if self._engine is not None:
+            self._engine._note_cancel()
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -41,11 +53,18 @@ class EventHandle:
 class SimulationEngine:
     """Event loop with a simulated clock."""
 
+    #: Compact the heap once at least this many cancelled handles
+    #: accumulate *and* they make up at least half the queue; keeps long
+    #: replays from retaining dead EventHandles indefinitely.
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self, start_time: float = 0.0):
         self._now = start_time
         self._queue: List[EventHandle] = []
         self._seq = itertools.count()
         self._fired = 0
+        self._pending = 0  # live (non-cancelled, unfired) events
+        self._cancelled = 0  # cancelled handles still sitting in the heap
 
     @property
     def now(self) -> float:
@@ -54,13 +73,25 @@ class SimulationEngine:
 
     @property
     def pending_events(self) -> int:
-        """Events scheduled and not yet fired or cancelled."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Events scheduled and not yet fired or cancelled.  O(1)."""
+        return self._pending
 
     @property
     def fired_events(self) -> int:
         """Events executed so far."""
         return self._fired
+
+    def _note_cancel(self) -> None:
+        """Bookkeeping for one handle transitioning to cancelled."""
+        self._pending -= 1
+        self._cancelled += 1
+        if (
+            self._cancelled >= self.COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 >= len(self._queue)
+        ):
+            self._queue = [h for h in self._queue if not h.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled = 0
 
     def schedule_at(self, time: float, action: Action) -> EventHandle:
         """Schedule *action* at absolute simulated *time*."""
@@ -68,8 +99,9 @@ class SimulationEngine:
             raise SimulationError(
                 f"cannot schedule in the past: {time} < now={self._now}"
             )
-        handle = EventHandle(time, next(self._seq), action)
+        handle = EventHandle(time, next(self._seq), action, engine=self)
         heapq.heappush(self._queue, handle)
+        self._pending += 1
         return handle
 
     def schedule_in(self, delay: float, action: Action) -> EventHandle:
@@ -93,6 +125,7 @@ class SimulationEngine:
             handle = self._queue[0]
             if handle.cancelled:
                 heapq.heappop(self._queue)
+                self._cancelled -= 1
                 continue
             if until is not None and handle.time > until:
                 self._now = until
@@ -101,6 +134,7 @@ class SimulationEngine:
             self._now = handle.time
             action = handle.action
             handle.action = None
+            self._pending -= 1
             self._fired += 1
             fired_this_run += 1
             if fired_this_run > max_events:
@@ -118,10 +152,12 @@ class SimulationEngine:
         while self._queue:
             handle = heapq.heappop(self._queue)
             if handle.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = handle.time
             action = handle.action
             handle.action = None
+            self._pending -= 1
             self._fired += 1
             if action is not None:
                 action()

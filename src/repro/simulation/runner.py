@@ -62,6 +62,11 @@ class ReplayConfig:
     use_measured: bool = True
     strict_fcfs: bool = False
     preserve_sgx_nodes: bool = True
+    #: Answer the scheduler's sliding-window queries from the
+    #: incremental aggregate cache instead of re-scanning the TSDB
+    #: every pass.  Results are identical either way; the toggle exists
+    #: for A/B benchmarking and as an escape hatch.
+    use_state_cache: bool = True
     malicious: Optional[MaliciousConfig] = None
     #: Period of the EPC contention rebalancer (Sec. V-E's migration
     #: use case); ``None`` disables it, as in the paper's evaluation.
@@ -139,7 +144,11 @@ class _Replay:
             epc_allow_overcommit=config.epc_allow_overcommit,
         )
         self.perf = SgxPerfModel()
-        self.orchestrator = Orchestrator(self.cluster, perf_model=self.perf)
+        self.orchestrator = Orchestrator(
+            self.cluster,
+            perf_model=self.perf,
+            use_state_cache=config.use_state_cache,
+        )
         self.scheduler = make_scheduler(config)
         self.engine = SimulationEngine()
         self.log = EventLog()

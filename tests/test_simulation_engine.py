@@ -130,3 +130,82 @@ class TestRunUntil:
         engine.schedule_at(1.0, lambda: None)
         engine.run()
         assert engine.fired_events == 1
+
+
+class TestPendingCounter:
+    def test_counter_tracks_schedule_fire_cancel(self):
+        engine = SimulationEngine()
+        handles = [engine.schedule_at(float(i), lambda: None) for i in range(5)]
+        assert engine.pending_events == 5
+        handles[0].cancel()
+        assert engine.pending_events == 4
+        engine.run(until=2.5)
+        assert engine.pending_events == 2
+
+    def test_cancel_after_fire_is_noop(self):
+        engine = SimulationEngine()
+        handle = engine.schedule_at(1.0, lambda: None)
+        engine.run()
+        assert engine.pending_events == 0
+        handle.cancel()
+        handle.cancel()
+        assert engine.pending_events == 0
+
+    def test_counter_matches_queue_census(self):
+        engine = SimulationEngine()
+        handles = [
+            engine.schedule_at(float(i % 7), lambda: None) for i in range(50)
+        ]
+        for handle in handles[::3]:
+            handle.cancel()
+        census = sum(1 for h in engine._queue if not h.cancelled)
+        assert engine.pending_events == census
+
+    def test_cancel_during_run_keeps_counter_consistent(self):
+        engine = SimulationEngine()
+        victim = engine.schedule_at(5.0, lambda: None)
+        engine.schedule_at(1.0, victim.cancel)
+        engine.run()
+        assert engine.pending_events == 0
+        assert engine.fired_events == 1
+
+
+class TestCompaction:
+    def test_dominating_cancellations_shrink_the_heap(self):
+        engine = SimulationEngine()
+        handles = [
+            engine.schedule_at(float(i), lambda: None) for i in range(1000)
+        ]
+        for handle in handles[:900]:
+            handle.cancel()
+        assert engine.pending_events == 100
+        # Dead handles were compacted away, not retained until their
+        # timestamps drain.
+        assert len(engine._queue) <= 200
+
+    def test_compaction_preserves_firing_order(self):
+        engine = SimulationEngine()
+        fired = []
+        keepers = []
+        for i in range(300):
+            engine.schedule_at(float(i), lambda i=i: fired.append(i))
+            if i % 10 == 0:
+                keepers.append(i)
+        # Cancel everything not a keeper (in one pass so the heap sees
+        # many dead entries at once and compacts mid-stream).
+        for handle in list(engine._queue):
+            if int(handle.time) not in keepers:
+                handle.cancel()
+        engine.run()
+        assert fired == keepers
+
+    def test_small_cancel_counts_do_not_compact(self):
+        engine = SimulationEngine()
+        handles = [
+            engine.schedule_at(float(i), lambda: None) for i in range(20)
+        ]
+        for handle in handles[:10]:
+            handle.cancel()
+        assert len(engine._queue) == 20  # below the compaction floor
+        engine.run()
+        assert engine.fired_events == 10
