@@ -91,7 +91,9 @@ class _SeriesState:
 class _MeasurementState:
     """All series of one measurement plus the validity watermarks."""
 
-    __slots__ = ("series", "max_time", "hwm", "vacuum_floor", "dirty")
+    __slots__ = (
+        "series", "max_time", "hwm", "vacuum_floor", "dirty", "stable_until"
+    )
 
     def __init__(self, dirty: bool = False) -> None:
         self.series: Dict[SeriesKey, _SeriesState] = {}
@@ -105,6 +107,11 @@ class _MeasurementState:
         #: gone from the store, so snapshots must not serve them.
         self.vacuum_floor = float("-inf")
         self.dirty = dirty
+        #: Earliest future instant at which window expiry alone could
+        #: change this measurement's reported rows (a masked smaller
+        #: value surfacing, or a series aging out entirely).  Computed
+        #: by each snapshot; ``-inf`` means "unknown — don't trust it".
+        self.stable_until = float("-inf")
 
 
 class WindowedAggregateCache:
@@ -138,6 +145,16 @@ class WindowedAggregateCache:
         self.hits = 0
         self.fallbacks = 0
         self.rebuilds = 0
+        #: Bumped whenever absorbed writes could change the rows a
+        #: future snapshot reports: a new series, a write raising a
+        #: series' window max, anything that marks state dirty, a
+        #: rebuild, a drop, or a vacuum cutting into an observed
+        #: window.  Together with :meth:`stable_until` this lets the
+        #: scheduler's skip-clean check prove "the measured view is
+        #: identical to the previous pass" in O(1) — writes that merely
+        #: refresh an unchanged maximum (steady-state probes) do not
+        #: bump it.
+        self.content_version = 0
         # One write-through cache per database: a displaced cache would
         # either absorb every write twice (if left subscribed) or serve
         # stale windows (if silently unsubscribed), so replace it
@@ -166,6 +183,7 @@ class WindowedAggregateCache:
         if self._detached:
             return
         self._detached = True
+        self.content_version += 1
         self.db.unsubscribe(self)
         self._measurements.clear()
 
@@ -188,17 +206,24 @@ class WindowedAggregateCache:
             # present at vacuum time) but the lazy floor would expire
             # it; rebuild from the store rather than serve a mismatch.
             state.dirty = True
+            self.content_version += 1
             return
         key = (point.tag("nodename"), point.tag("pod_name"))
         series = state.series.get(key)
         if series is None:
             series = _SeriesState()
             state.series[key] = series
+            self.content_version += 1
         if series.times and point.time < series.times[-1][0]:
             # Out-of-order arrival: the monotonic deque cannot absorb
             # it incrementally; rebuild lazily from the store.
             state.dirty = True
+            self.content_version += 1
             return
+        if series.maxdeque and point.value > series.maxdeque[0][1]:
+            # The window maximum rises: reported rows change.  A write
+            # at or below the current max only refreshes the deque.
+            self.content_version += 1
         self._push(series, point)
 
     def on_vacuum(self, cutoff: float) -> None:
@@ -212,10 +237,15 @@ class WindowedAggregateCache:
         for state in self._measurements.values():
             if cutoff > state.vacuum_floor:
                 state.vacuum_floor = cutoff
+                if cutoff > state.hwm - self.window_seconds:
+                    # The cut reaches into windows at or after the last
+                    # observed snapshot: reported rows may change.
+                    self.content_version += 1
 
     def on_drop(self, measurement: str) -> None:
         """Mirror a dropped measurement."""
-        self._measurements.pop(measurement, None)
+        if self._measurements.pop(measurement, None) is not None:
+            self.content_version += 1
 
     # -- queries ---------------------------------------------------------
 
@@ -245,6 +275,7 @@ class WindowedAggregateCache:
         if state.dirty:
             self._rebuild(measurement, state)
         if now < state.max_time or now < state.hwm:
+            state.stable_until = float("-inf")
             self.fallbacks += 1
             return None
         cutoff = now - self.window_seconds
@@ -255,12 +286,20 @@ class WindowedAggregateCache:
         state.hwm = now
         live: List[Tuple[SeriesKey, _SeriesState]] = []
         dead: List[SeriesKey] = []
+        # Reported rows stay byte-identical until the earliest window
+        # maximum ages out: its expiry either surfaces a smaller masked
+        # value or (single-entry deque) removes the series entirely.
+        stable_until = float("inf")
         for key, series in state.series.items():
             series.expire(cutoff)
             if not series.times:
                 dead.append(key)
                 continue
             live.append((key, series))
+            head_expiry = series.maxdeque[0][0] + self.window_seconds
+            if head_expiry < stable_until:
+                stable_until = head_expiry
+        state.stable_until = stable_until
         for key in dead:
             del state.series[key]
         if ordered:
@@ -314,6 +353,70 @@ class WindowedAggregateCache:
         """Number of series currently tracked for *measurement*."""
         state = self._measurements.get(measurement)
         return len(state.series) if state else 0
+
+    def revalidate(self, measurement: str, now: float) -> None:
+        """Advance *measurement*'s stability horizon to *now* cheaply.
+
+        The horizon computed by a snapshot goes stale as steady-state
+        writes refresh unchanged maxima (they extend real stability but
+        bump nothing).  This walk applies window expiry exactly as a
+        snapshot would — O(live series), no row building — and either
+        extends :attr:`_MeasurementState.stable_until` or, when expiry
+        really changed a reported row (a masked smaller value surfaced,
+        a series died), bumps :attr:`content_version` so fingerprint
+        comparisons fail as they must.  No-op whenever the cache could
+        not serve *now* incrementally.
+        """
+        if self._detached:
+            return
+        state = self._measurements.get(measurement)
+        if state is None or state.dirty:
+            return
+        if now < state.max_time or now < state.hwm:
+            return
+        cutoff = now - self.window_seconds
+        if state.vacuum_floor > cutoff:
+            cutoff = state.vacuum_floor
+        state.hwm = now
+        stable = float("inf")
+        changed = False
+        dead: List[SeriesKey] = []
+        for key, series in state.series.items():
+            front = series.maxdeque[0][1]
+            series.expire(cutoff)
+            if not series.times:
+                dead.append(key)
+                changed = True
+                continue
+            if series.maxdeque[0][1] != front:
+                changed = True
+            head_expiry = series.maxdeque[0][0] + self.window_seconds
+            if head_expiry < stable:
+                stable = head_expiry
+        for key in dead:
+            del state.series[key]
+        state.stable_until = stable
+        if changed:
+            self.content_version += 1
+
+    def stable_until(self, measurement: str) -> float:
+        """Until when *measurement*'s last-reported rows cannot change.
+
+        Valid only between the last successful snapshot and the next
+        write (writes that could alter rows bump
+        :attr:`content_version`, which callers must check alongside).
+        A measurement the cache has never served reports ``-inf``
+        (unknown); one with no absorbed points reports ``+inf`` (no
+        rows, and any appearing row bumps the version).
+        """
+        if self._detached:
+            return float("-inf")
+        state = self._measurements.get(measurement)
+        if state is None:
+            return float("inf")
+        if state.dirty:
+            return float("-inf")
+        return state.stable_until
 
     # -- internals -------------------------------------------------------
 

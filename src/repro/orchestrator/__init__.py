@@ -7,9 +7,10 @@ agents that admit pods, set up cgroups and relay EPC limits to the driver
 (:mod:`repro.orchestrator.kubelet`), the SGX device plugin advertising
 each EPC page as a resource item (:mod:`repro.orchestrator.device_plugin`)
 over a gRPC-like channel (:mod:`repro.orchestrator.rpc`), DaemonSets that
-keep one probe per SGX node (:mod:`repro.orchestrator.daemonset`) and the
-orchestrator facade tying everything together
-(:mod:`repro.orchestrator.controller`).
+keep one probe per SGX node (:mod:`repro.orchestrator.daemonset`), the
+event hub that turns cluster transitions into scheduling-pass triggers
+(:mod:`repro.orchestrator.triggers`) and the orchestrator facade tying
+everything together (:mod:`repro.orchestrator.controller`).
 """
 
 from .api import (
@@ -25,9 +26,11 @@ from .rpc import RpcChannel, RpcServer
 from .device_plugin import DevicePluginRegistry, SgxDevicePlugin
 from .kubelet import Kubelet
 from .daemonset import DaemonSet, DaemonSetController
+from .triggers import ClusterEvent, SchedulingTrigger, TriggerEvent
 from .controller import Orchestrator
 
 __all__ = [
+    "ClusterEvent",
     "DaemonSet",
     "DaemonSetController",
     "DevicePluginRegistry",
@@ -41,6 +44,8 @@ __all__ = [
     "RpcChannel",
     "RpcServer",
     "SGX_EPC_RESOURCE",
+    "SchedulingTrigger",
     "SgxDevicePlugin",
+    "TriggerEvent",
     "WorkloadProfile",
 ]

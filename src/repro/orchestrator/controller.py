@@ -37,6 +37,7 @@ from .kubelet import Kubelet
 from .pod import Pod
 from .queue import PendingQueue
 from .rpc import RpcChannel
+from .triggers import ClusterEvent, SchedulingTrigger
 
 #: Name of the DaemonSet that keeps one SGX probe per SGX node.
 PROBE_DAEMONSET = "sgx-metrics-probe"
@@ -70,6 +71,7 @@ class Orchestrator:
         enforce_memory_limits: bool = False,
         registry: Optional[ImageRegistry] = None,
         use_state_cache: bool = True,
+        requeue_backoff_seconds: float = 0.0,
     ):
         self.cluster = cluster
         # Explicit None check: an empty TimeSeriesDatabase is falsy
@@ -98,14 +100,19 @@ class Orchestrator:
                 )
         self.perf_model = perf_model or SgxPerfModel()
         self.registry = registry
+        self.enforce_memory_limits = enforce_memory_limits
+        # One set of Kubelet construction kwargs, used for the initial
+        # inventory AND for nodes joined later via add_node — a kubelet
+        # must behave identically whether its node was present at
+        # bootstrap or joined mid-run.
+        self._kubelet_kwargs = dict(
+            perf_model=self.perf_model,
+            enforce_memory_limits=enforce_memory_limits,
+            registry=registry,
+        )
         self.kubelets: Dict[str, Kubelet] = {}
         for node in cluster:
-            kubelet = Kubelet(
-                node,
-                perf_model=self.perf_model,
-                enforce_memory_limits=enforce_memory_limits,
-                registry=registry,
-            )
+            kubelet = Kubelet(node, **self._kubelet_kwargs)
             self.kubelets[node.name] = kubelet
             # Device plugin discovers /dev/isgx and registers over RPC.
             SgxDevicePlugin(node).register(RpcChannel(kubelet.rpc_server))
@@ -128,9 +135,16 @@ class Orchestrator:
             cache=self.aggregate_cache,
             allow_query_cache=use_state_cache,
         )
-        self.queue = PendingQueue()
+        self.queue = PendingQueue(
+            requeue_backoff_seconds=requeue_backoff_seconds
+        )
         self.all_pods: List[Pod] = []
         self.migrations = MigrationManager()
+        #: Event hub: every cluster transition that could make a
+        #: scheduling pass useful is published here, so event-driven
+        #: drivers react to state changes instead of polling on a
+        #: timer (the periodic mode simply never consults it).
+        self.trigger = SchedulingTrigger()
 
     def _make_probe(self, kubelet: Kubelet) -> SgxMetricsProbe:
         driver = kubelet.node.driver
@@ -147,25 +161,27 @@ class Orchestrator:
 
     # -- node lifecycle (Sec. V-C: probes follow nodes automatically) ----
 
-    def add_node(self, node) -> Kubelet:
+    def add_node(self, node, now: float) -> Kubelet:
         """Join a new physical node to the cluster.
 
         Registers its Kubelet and device plugin, hooks it into Heapster
         and lets the DaemonSet controller deploy a probe if the node
         advertises SGX — the paper's "automatically handle the
-        deployment of new probes when adding physical nodes".
+        deployment of new probes when adding physical nodes".  The
+        Kubelet is built with the same kwargs as the bootstrap
+        inventory, so policies like memory-limit enforcement apply to
+        late-joined nodes too.
         """
         self.cluster.add_node(node)
-        kubelet = Kubelet(
-            node,
-            perf_model=self.perf_model,
-            registry=self.registry,
-        )
+        kubelet = Kubelet(node, **self._kubelet_kwargs)
         self.kubelets[node.name] = kubelet
         SgxDevicePlugin(node).register(RpcChannel(kubelet.rpc_server))
         self.heapster.register(kubelet)
         self.daemonsets.reconcile(self.kubelets.values())
         self.state_service.kubelets.append(kubelet)
+        self.trigger.publish(
+            ClusterEvent.NODE_ADDED, now, node_name=node.name
+        )
         return kubelet
 
     def remove_node(self, node_name: str, now: float) -> List[Pod]:
@@ -193,6 +209,9 @@ class Orchestrator:
             k for k in self.state_service.kubelets if k is not kubelet
         ]
         self.daemonsets.reconcile(self.kubelets.values())
+        self.trigger.publish(
+            ClusterEvent.NODE_REMOVED, now, node_name=node_name
+        )
         return requeued
 
     # -- submission --------------------------------------------------------
@@ -202,6 +221,9 @@ class Orchestrator:
         pod = Pod(spec, submitted_at=now)
         self.queue.push(pod)
         self.all_pods.append(pod)
+        self.trigger.publish(
+            ClusterEvent.POD_SUBMITTED, now, pod_name=pod.name
+        )
         return pod
 
     # -- monitoring --------------------------------------------------------
@@ -232,7 +254,10 @@ class Orchestrator:
         single-scheduler production deployment.
         """
         result = PassResult()
-        pending = self.queue.snapshot()
+        # Consume the cluster events this pass serves (coalescing
+        # accounting; periodic callers run regardless of events).
+        self.trigger.begin_pass(now)
+        pending = self.queue.snapshot(now)
         if only_matching:
             pending = [
                 pod
@@ -260,10 +285,19 @@ class Orchestrator:
             elif admission.retryable:
                 # Transient failure (e.g. the EPC filled between the
                 # metrics snapshot and launch): back to the queue, like
-                # a Kubernetes crash-looping pod.
+                # a Kubernetes crash-looping pod.  The requeue keeps
+                # the pod's original submission order — FCFS priority
+                # survives the retry instead of demoting the pod to
+                # the tail, where the oldest pod could starve forever.
                 pod.mark_unbound()
-                self.queue.push(pod)
+                ready_at = self.queue.requeue(pod, now)
                 result.requeued.append(pod)
+                self.trigger.publish(
+                    ClusterEvent.POD_REQUEUED,
+                    now,
+                    pod_name=pod.name,
+                    ready_at=ready_at,
+                )
             else:
                 pod.mark_failed(now, admission.failure_reason or "killed")
                 result.killed.append(pod)
@@ -282,6 +316,12 @@ class Orchestrator:
         kubelet = self._kubelet_of(pod)
         kubelet.terminate(pod)
         pod.mark_succeeded(now)
+        self.trigger.publish(
+            ClusterEvent.POD_COMPLETED,
+            now,
+            pod_name=pod.name,
+            node_name=pod.node_name,
+        )
 
     def migrate_pod(
         self, pod: Pod, target_node_name: str, now: float
@@ -318,7 +358,16 @@ class Orchestrator:
         checkpoint, key = self.migrations.checkpoint(
             source.node.driver, pid, enclave, source_aesm, target_probe
         )
+        source_node_name = pod.node_name
         source.finish_migration_out(pod)
+        # The source's EPC pages are free from here on, whatever the
+        # restore outcome: deferred pods may now fit there.
+        self.trigger.publish(
+            ClusterEvent.CAPACITY_FREED,
+            now,
+            pod_name=pod.name,
+            node_name=source_node_name,
+        )
 
         def restore(new_pid, target_aesm):
             # The key binds to the probe's platform id; rebind the
@@ -350,6 +399,12 @@ class Orchestrator:
         if pod.node_name is not None:
             self._kubelet_of(pod).terminate(pod)
         pod.mark_failed(now, reason)
+        self.trigger.publish(
+            ClusterEvent.POD_KILLED,
+            now,
+            pod_name=pod.name,
+            node_name=pod.node_name,
+        )
 
     def _kubelet_of(self, pod: Pod) -> Kubelet:
         if pod.node_name is None:

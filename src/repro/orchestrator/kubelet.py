@@ -87,6 +87,10 @@ class Kubelet:
             "RegisterDevicePlugin", self.devices.register
         )
         self._records: Dict[str, _PodRecord] = {}
+        #: Bumped whenever the admitted-pod set (and hence this node's
+        #: committed requests) changes; the scheduler's skip-clean check
+        #: compares it across passes to reuse node views.
+        self.commitment_version = 0
 
     # -- control-plane queries -------------------------------------------------
 
@@ -131,6 +135,7 @@ class Kubelet:
         pod.cgroup_path = cgroup_path
         record = _PodRecord(pod=pod, cgroup_path=cgroup_path)
         self._records[pod.uid] = record
+        self.commitment_version += 1
 
         # Relay the EPC limit to the driver before containers start.
         limits = pod.spec.resources.effective_limits
@@ -291,6 +296,7 @@ class Kubelet:
         pod.cgroup_path = cgroup_path
         record = _PodRecord(pod=pod, cgroup_path=cgroup_path)
         self._records[pod.uid] = record
+        self.commitment_version += 1
         limits = pod.spec.resources.effective_limits
         if self.node.driver is not None and limits.epc_pages > 0:
             self.node.driver.ioctl(
@@ -328,6 +334,7 @@ class Kubelet:
         self._teardown(record)
 
     def _teardown(self, record: _PodRecord) -> None:
+        self.commitment_version += 1
         if record.pid is not None:
             self.node.kill_process(record.pid)  # destroys enclaves too
             record.pid = None

@@ -1,38 +1,74 @@
-"""Persistent FCFS pending queue.
+"""Persistent FCFS pending queue with a backoff-aware requeue sub-queue.
 
 Section IV: "The orchestrator keeps a persistent queue of pending jobs;
 the scheduler periodically checks for the possibility to schedule some of
 them, applying a first-come first-served (FCFS) priority."
 
-Jobs are iterated oldest-first.  Like the Kubernetes scheduler the paper
-extends non-preemptively, a job that cannot currently be placed does not
-block younger jobs from being attempted (no head-of-line blocking), but
-priority remains FCFS: every pass considers older jobs first.  A strict
-variant is available for the ablation benchmark.
+Jobs are iterated oldest-first by *original submission time*.  Like the
+Kubernetes scheduler the paper extends non-preemptively, a job that
+cannot currently be placed does not block younger jobs from being
+attempted (no head-of-line blocking), but priority remains FCFS: every
+pass considers older jobs first.  A strict variant is available for the
+ablation benchmark.
+
+Two queues live here:
+
+* the **main queue** of submitted pods, ordered by
+  ``(submitted_at, uid)`` — uids are monotonically increasing, so ties
+  at the same submission instant break by arrival order;
+* the **requeue sub-queue** for pods whose launch failed transiently.
+  A requeued pod keeps its original ``submitted_at`` key, so it regains
+  its FCFS position instead of being demoted to the tail (where the
+  oldest pod could starve behind younger ones forever).  Each requeue
+  carries a ``ready_at = now + backoff``; until then the pod is hidden
+  from :meth:`snapshot`, which keeps crash-looping admissions from
+  hammering every pass while preserving the pod's priority the moment
+  its backoff expires.  The default backoff of 0 makes requeued pods
+  eligible immediately, matching the paper's retry-next-pass behaviour.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from ..errors import OrchestrationError
 from .pod import Pod
 
 
 class PendingQueue:
-    """FIFO of pending pods, keyed by uid for O(1) removal."""
+    """FCFS pending pods, keyed by uid for O(1) membership."""
 
-    def __init__(self):
-        self._pods: "OrderedDict[str, Pod]" = OrderedDict()
+    def __init__(self, requeue_backoff_seconds: float = 0.0):
+        if requeue_backoff_seconds < 0:
+            raise OrchestrationError(
+                f"requeue backoff must be >= 0, got {requeue_backoff_seconds}"
+            )
+        self.requeue_backoff_seconds = requeue_backoff_seconds
+        self._pods: Dict[str, Pod] = {}
+        #: uid -> ready_at for pods sitting out a requeue backoff.
+        self._ready_at: Dict[str, float] = {}
+
+    # -- mutation ----------------------------------------------------------
 
     def push(self, pod: Pod) -> None:
-        """Enqueue a newly submitted pod at the tail."""
+        """Enqueue a newly submitted pod (FCFS position: its uid)."""
         if pod.uid in self._pods:
             raise OrchestrationError(
                 f"pod {pod.name} (uid {pod.uid}) already queued"
             )
         self._pods[pod.uid] = pod
+
+    def requeue(self, pod: Pod, now: float) -> float:
+        """Reinsert a transiently failed pod at its original FCFS slot.
+
+        Returns the ``ready_at`` time at which the pod becomes eligible
+        again (``now`` when no backoff is configured).
+        """
+        self.push(pod)
+        ready_at = now + self.requeue_backoff_seconds
+        if ready_at > now:
+            self._ready_at[pod.uid] = ready_at
+        return ready_at
 
     def remove(self, pod: Pod) -> None:
         """Remove a pod (scheduled or rejected)."""
@@ -41,6 +77,9 @@ class PendingQueue:
                 f"pod {pod.name} (uid {pod.uid}) is not queued"
             )
         del self._pods[pod.uid]
+        self._ready_at.pop(pod.uid, None)
+
+    # -- membership --------------------------------------------------------
 
     def __contains__(self, pod: Pod) -> bool:
         return pod.uid in self._pods
@@ -48,19 +87,52 @@ class PendingQueue:
     def __len__(self) -> int:
         return len(self._pods)
 
+    def _ordered(self) -> List[Pod]:
+        """All queued pods, FCFS: by submission time, then arrival."""
+        return sorted(
+            self._pods.values(), key=lambda p: (p.submitted_at, p.uid)
+        )
+
     def __iter__(self) -> Iterator[Pod]:
         """Oldest-first iteration over a snapshot of the queue."""
-        return iter(list(self._pods.values()))
+        return iter(self._ordered())
 
     def peek(self) -> Optional[Pod]:
-        """The oldest pending pod, or ``None``."""
-        for pod in self._pods.values():
-            return pod
-        return None
+        """The oldest pending pod (backed off or not), or ``None``."""
+        ordered = self._ordered()
+        return ordered[0] if ordered else None
 
-    def snapshot(self) -> List[Pod]:
-        """Oldest-first list copy."""
-        return list(self._pods.values())
+    def snapshot(self, now: Optional[float] = None) -> List[Pod]:
+        """Oldest-first list of pods eligible for scheduling.
+
+        With *now* supplied, pods still inside a requeue backoff are
+        excluded; without it the whole queue is returned (reporting).
+        """
+        ordered = self._ordered()
+        if now is None or not self._ready_at:
+            return ordered
+        return [
+            pod
+            for pod in ordered
+            if self._ready_at.get(pod.uid, now) <= now
+        ]
+
+    def ready_count(self, now: float) -> int:
+        """Pods eligible for scheduling at *now*."""
+        if not self._ready_at:
+            return len(self._pods)
+        return sum(
+            1
+            for uid in self._pods
+            if self._ready_at.get(uid, now) <= now
+        )
+
+    def next_ready_at(self, now: float) -> Optional[float]:
+        """Earliest backoff expiry still in the future, if any."""
+        future = [t for t in self._ready_at.values() if t > now]
+        return min(future) if future else None
+
+    # -- aggregates --------------------------------------------------------
 
     def total_requested_epc_pages(self) -> int:
         """Sum of EPC pages requested by queued pods (Fig. 7's y-axis)."""

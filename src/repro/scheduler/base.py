@@ -135,6 +135,7 @@ class ClusterStateService:
         window_seconds: float = METRICS_WINDOW_SECONDS,
         cache: Optional[WindowedAggregateCache] = None,
         allow_query_cache: bool = True,
+        reuse_clean_snapshots: bool = True,
     ):
         if cache is not None and cache.window_seconds != window_seconds:
             raise SchedulingError(
@@ -149,6 +150,14 @@ class ClusterStateService:
         #: a shared db may carry a cache attached by another owner, and
         #: a caller that disabled caching must really measure the scan.
         self.allow_query_cache = allow_query_cache
+        #: Skip-clean passes: when the aggregate cache and the kubelet
+        #: commitments report no change since the previous pass, reuse
+        #: the previous pass's node views instead of rebuilding them.
+        self.reuse_clean_snapshots = reuse_clean_snapshots
+        self._last_views: Optional[List[NodeView]] = None
+        self._last_fingerprint: Optional[Tuple] = None
+        #: Passes answered from the retained views (observability).
+        self.snapshots_reused = 0
         #: Malformed-row *observations*: a row missing its
         #: ``nodename``/``pod_name`` tags is counted on every pass it
         #: stays inside the window, so this tracks exposure, not
@@ -169,15 +178,20 @@ class ClusterStateService:
         self, measurement: str, query, now: float
     ) -> List[Tuple[Optional[str], Optional[str], float]]:
         """Per-series ``(nodename, pod_name, max)`` over the window."""
+        allow_fast_path = self.allow_query_cache
         if self.cache is not None and self.allow_query_cache:
             maxima = self.cache.window_maxima(measurement, now)
             if maxima is not None:
                 return maxima
+            # The cache just declined this (measurement, now); don't
+            # let execute_query's fast path ask it again (it would
+            # decline identically, double-counting the fallback).
+            allow_fast_path = False
         return [
             (row.get("nodename"), row.get("pod_name"), row.get("usage", 0.0))
             for row in execute_query(
                 query, self.db, now,
-                allow_fast_path=self.allow_query_cache,
+                allow_fast_path=allow_fast_path,
             )
         ]
 
@@ -228,6 +242,83 @@ class ClusterStateService:
             )
         return measured
 
+    # -- skip-clean passes -------------------------------------------------
+
+    def _state_fingerprint(self, now: float) -> Optional[Tuple]:
+        """O(nodes) token identifying the inputs of :meth:`build_views`.
+
+        Two equal, non-``None`` fingerprints guarantee byte-identical
+        views: the aggregate cache's content version covers every
+        monitoring write that could alter a window maximum, its
+        stability horizon covers expiry-by-time-passage, and the kubelet
+        commitment versions cover the admitted-pod sets.  ``None``
+        means "cannot prove anything" (no cache, cache fell back, or
+        the window has drifted past the stability horizon) and forces a
+        rebuild.
+        """
+        cache = self.cache
+        if cache is None or not self.allow_query_cache:
+            return None
+        stable = min(
+            cache.stable_until(MEASUREMENT_MEMORY),
+            cache.stable_until(MEASUREMENT_EPC),
+        )
+        if now > stable:
+            # The horizon lapsed, most often because steady-state
+            # writes kept refreshing unchanged maxima; advance it with
+            # one cheap walk (rows that really changed bump the
+            # version, failing the comparison below as they must).
+            cache.revalidate(MEASUREMENT_MEMORY, now)
+            cache.revalidate(MEASUREMENT_EPC, now)
+            stable = min(
+                cache.stable_until(MEASUREMENT_MEMORY),
+                cache.stable_until(MEASUREMENT_EPC),
+            )
+            if now > stable:
+                return None
+        return (
+            cache.content_version,
+            tuple(
+                (kubelet.node.name, kubelet.commitment_version)
+                for kubelet in self.kubelets
+            ),
+        )
+
+    def state_unchanged(self, now: float) -> bool:
+        """Whether views built at *now* would equal the previous pass's.
+
+        The event-driven replay uses this to skip whole passes: if no
+        cluster event fired and the measured state is provably
+        unchanged, the pass would recompute the previous pass's exact
+        all-deferred outcome.
+        """
+        if self._last_views is None:
+            return False
+        fingerprint = self._state_fingerprint(now)
+        return (
+            fingerprint is not None
+            and fingerprint == self._last_fingerprint
+        )
+
+    @staticmethod
+    def _clone_views(views: Sequence[NodeView]) -> List[NodeView]:
+        """Fresh NodeView objects over the same (immutable) vectors.
+
+        Strategies mutate views only by rebinding ``used``/``committed``
+        (see :meth:`NodeView.reserve`), so sharing the vectors is safe
+        while the retained originals stay pristine.
+        """
+        return [
+            NodeView(
+                name=view.name,
+                sgx_capable=view.sgx_capable,
+                capacity=view.capacity,
+                used=view.used,
+                committed=view.committed,
+            )
+            for view in views
+        ]
+
     def build_views(self, now: float) -> List[NodeView]:
         """One :class:`NodeView` per node, in Kubelet registration order.
 
@@ -236,7 +327,15 @@ class ClusterStateService:
         younger than one probe period would be invisible to a purely
         measured view — this is the reservation that prevents stampedes
         between a bind and its first sample).
+
+        With :attr:`reuse_clean_snapshots`, a pass whose fingerprint
+        matches the previous pass's reuses the retained views (the
+        malformed-row counter then reflects rebuilt passes only).
         """
+        if self.reuse_clean_snapshots and self.state_unchanged(now):
+            self.snapshots_reused += 1
+            assert self._last_views is not None
+            return self._clone_views(self._last_views)
         measured = self._measured_usage(now)
         views: List[NodeView] = []
         for kubelet in self.kubelets:
@@ -264,6 +363,11 @@ class ClusterStateService:
                     committed=kubelet.committed_requests(),
                 )
             )
+        if self.reuse_clean_snapshots:
+            # Fingerprint AFTER the build: the snapshot above refreshed
+            # the cache's stability horizon for the window at *now*.
+            self._last_views = self._clone_views(views)
+            self._last_fingerprint = self._state_fingerprint(now)
         return views
 
 

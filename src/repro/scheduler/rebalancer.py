@@ -19,7 +19,7 @@ transfer, highest chance of fitting).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..errors import OrchestrationError
 from ..orchestrator.controller import Orchestrator
@@ -37,11 +37,33 @@ class MigrationAction:
     downtime_seconds: float
 
 
+@dataclass(frozen=True)
+class FailedMigration:
+    """A migration whose target-side restore failed.
+
+    The source enclave is destroyed by the checkpoint protocol before
+    the target admits, so the original pod is gone (marked failed); the
+    rebalancer resubmits its spec as *replacement* so no work is lost.
+    Drivers holding per-pod runtime state (the replay runner's running-
+    job table, its finish events) must purge the old pod's entries.
+    """
+
+    pod_name: str
+    #: Uid of the destroyed pod — spec names need not be unique (the
+    #: replacement reuses this one), so per-pod state must key on it.
+    pod_uid: str
+    source_node: str
+    target_node: str
+    replacement: Pod
+
+
 @dataclass
 class RebalanceReport:
     """What one rebalancing pass did."""
 
     actions: List[MigrationAction] = field(default_factory=list)
+    #: Migrations that failed at restore; their pods were resubmitted.
+    failed: List[FailedMigration] = field(default_factory=list)
     #: Nodes that were over-committed but could not be relieved.
     unrelieved_nodes: List[str] = field(default_factory=list)
 
@@ -76,11 +98,14 @@ class EpcRebalancer:
                 names.append(node.name)
         return names
 
-    def _victims(self, node_name: str) -> List[Pod]:
-        """Running enclave pods on *node_name*, smallest enclave first.
+    def _victims(self, node_name: str) -> List[Tuple[int, Pod]]:
+        """``(pages, pod)`` running on *node_name*, smallest first.
 
         Uses the driver's per-process occupancy ioctl — the paper's
-        stated mechanism for identifying migration candidates.
+        stated mechanism for identifying migration candidates.  The
+        measured page count is what the move must fit into the target:
+        an enclave grown past its declared size (SGX2 EAUG) occupies
+        its *measured* pages, not ``spec.workload.epc_pages``.
         """
         kubelet = self.orchestrator.kubelets[node_name]
         driver = kubelet.node.driver
@@ -100,7 +125,7 @@ class EpcRebalancer:
             if pages > 0:
                 candidates.append((pages, pod))
         candidates.sort(key=lambda item: (item[0], item[1].uid))
-        return [pod for _, pod in candidates]
+        return candidates
 
     def _best_target(self, pages_needed: int, exclude: str) -> Optional[str]:
         """The SGX node with the most free pages that can host the move."""
@@ -122,24 +147,48 @@ class EpcRebalancer:
         report = RebalanceReport()
         budget = self.max_migrations_per_pass
         for node_name in self.overcommitted_nodes():
+            if budget <= 0:
+                # Budget spent on earlier nodes: stop scanning victims
+                # entirely — a pass must never exceed its safety valve.
+                report.unrelieved_nodes.append(node_name)
+                continue
             node = self.orchestrator.cluster.node(node_name)
             assert node.epc is not None
             relieved = False
-            for pod in self._victims(node_name):
+            for pages, pod in self._victims(node_name):
                 if budget <= 0 or not node.epc.overcommitted:
                     break
-                assert pod.spec.workload is not None
-                pages = pod.spec.workload.epc_pages
                 target = self._best_target(pages, exclude=node_name)
                 if target is None:
                     continue
+                budget -= 1
                 try:
                     downtime = self.orchestrator.migrate_pod(
                         pod, target, now
                     )
                 except OrchestrationError:
+                    if not pod.phase.is_terminal:
+                        # Failed before the checkpoint (precondition
+                        # raise): the pod still runs on the source,
+                        # untouched.  Nothing to repair.
+                        continue
+                    # The checkpoint already destroyed the source-side
+                    # enclave, so the pod is failed-and-gone; resubmit
+                    # its spec so the work is retried rather than
+                    # silently lost.  The source's pages did free, so
+                    # residency still needs rebalancing.
+                    replacement = self.orchestrator.submit(pod.spec, now)
+                    report.failed.append(
+                        FailedMigration(
+                            pod_name=pod.name,
+                            pod_uid=pod.uid,
+                            source_node=node_name,
+                            target_node=target,
+                            replacement=replacement,
+                        )
+                    )
+                    node.epc.rebalance_residency()
                     continue
-                budget -= 1
                 relieved = True
                 report.actions.append(
                     MigrationAction(

@@ -19,12 +19,18 @@ class EventKind(enum.Enum):
     SUBMITTED = "submitted"
     METRICS_COLLECTED = "metrics-collected"
     SCHEDULING_PASS = "scheduling-pass"
+    #: Event-driven replay proved the pass would repeat the previous
+    #: outcome and skipped it (never logged in periodic mode).
+    PASS_SKIPPED = "pass-skipped"
     BOUND = "bound"
     LAUNCH_KILLED = "launch-killed"
     REJECTED = "rejected"
     REQUEUED = "requeued"
     STARTED = "started"
     COMPLETED = "completed"
+    #: A rebalancer migration failed at restore; the pod's spec was
+    #: resubmitted and its runner-side job entry purged.
+    MIGRATION_FAILED = "migration-failed"
     SLOWDOWN_CHANGED = "slowdown-changed"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

@@ -128,7 +128,8 @@ class TestNodeLifecyclePlusEnforcement:
         scheduler = BinpackScheduler()
         orchestrator.remove_node("sgx-worker-0", now=0.0)
         orchestrator.add_node(
-            Node(NodeSpec.sgx("sgx-worker-2", enforce_epc_limits=True))
+            Node(NodeSpec.sgx("sgx-worker-2", enforce_epc_limits=True)),
+            now=0.0,
         )
         liar = orchestrator.submit(
             make_pod_spec(
@@ -140,12 +141,14 @@ class TestNodeLifecyclePlusEnforcement:
             now=1.0,
         )
         # Fill the surviving original node so the liar lands on the
-        # replacement, which must still kill it at EINIT.
+        # replacement, which must still kill it at EINIT.  The blocker
+        # was submitted earlier, so FCFS places it first; it must leave
+        # no declared room for the liar on sgx-worker-1.
         blocker = orchestrator.submit(
             make_pod_spec(
                 "blocker",
                 duration_seconds=600.0,
-                declared_epc_bytes=mib(90),
+                declared_epc_bytes=mib(93),
             ),
             now=0.5,
         )

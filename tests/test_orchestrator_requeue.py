@@ -72,6 +72,99 @@ class TestControllerRequeue:
             assert pod.phase is PodPhase.PENDING
             assert pod in orchestrator.queue
 
+    def test_requeued_pod_keeps_fcfs_priority(self):
+        """Regression: a requeued pod used to be pushed to the queue
+        tail, so the oldest pod could starve behind younger ones.  It
+        must be reconsidered *before* any younger pending pod."""
+        orchestrator = Orchestrator(
+            paper_cluster(
+                enforce_epc_limits=False,
+                epc_allow_overcommit=False,
+                sgx_workers=1,
+            )
+        )
+        scheduler = BinpackScheduler()
+        old = orchestrator.submit(
+            make_pod_spec(
+                "old-liar",
+                duration_seconds=100.0,
+                declared_epc_bytes=mib(1),
+                actual_epc_bytes=mib(60),
+            ),
+            now=0.0,
+        )
+        twin = orchestrator.submit(
+            make_pod_spec(
+                "twin-liar",
+                duration_seconds=100.0,
+                declared_epc_bytes=mib(1),
+                actual_epc_bytes=mib(60),
+            ),
+            now=0.0,
+        )
+        first = orchestrator.scheduling_pass(scheduler, now=1.0)
+        assert [p for p, _ in first.launched] == [old]
+        assert first.requeued == [twin]
+        # A younger pod arrives while the twin waits requeued.
+        young = orchestrator.submit(
+            make_pod_spec(
+                "young",
+                duration_seconds=100.0,
+                declared_epc_bytes=mib(1),
+                actual_epc_bytes=mib(60),
+            ),
+            now=5.0,
+        )
+        assert orchestrator.queue.snapshot(now=6.0) == [twin, young]
+        orchestrator.start_pod(old, now=1.2)
+        orchestrator.complete_pod(old, now=50.0)
+        second = orchestrator.scheduling_pass(scheduler, now=51.0)
+        # The freed node goes to the older (requeued) pod, not the
+        # younger one.
+        assert [p for p, _ in second.launched] == [twin]
+        assert young in second.requeued or young in second.deferred
+
+    def test_requeue_backoff_hides_pod_until_ready(self):
+        orchestrator = Orchestrator(
+            paper_cluster(
+                enforce_epc_limits=False,
+                epc_allow_overcommit=False,
+                sgx_workers=1,
+            ),
+            requeue_backoff_seconds=60.0,
+        )
+        scheduler = BinpackScheduler()
+        pods = [
+            orchestrator.submit(
+                make_pod_spec(
+                    f"liar-{index}",
+                    duration_seconds=100.0,
+                    declared_epc_bytes=mib(1),
+                    actual_epc_bytes=mib(60),
+                ),
+                now=0.0,
+            )
+            for index in range(2)
+        ]
+        first = orchestrator.scheduling_pass(scheduler, now=1.0)
+        assert len(first.requeued) == 1
+        requeued = first.requeued[0]
+        # Hidden while backing off (even though capacity has freed)...
+        launched_pod = first.launched[0][0]
+        orchestrator.start_pod(launched_pod, now=1.2)
+        orchestrator.complete_pod(launched_pod, now=10.0)
+        mid = orchestrator.scheduling_pass(scheduler, now=20.0)
+        assert mid.launched == []
+        assert requeued in orchestrator.queue
+        assert orchestrator.queue.ready_count(20.0) == 0
+        assert orchestrator.queue.next_ready_at(20.0) == pytest.approx(61.0)
+        # ...eligible again once the backoff expires.
+        late = orchestrator.scheduling_pass(scheduler, now=61.0)
+        assert [p for p, _ in late.launched] == [requeued]
+        assert {p.name for p in pods} == {
+            launched_pod.name, requeued.name
+        }
+
     def test_requeued_pod_launches_when_space_frees(self):
         orchestrator = Orchestrator(
             paper_cluster(

@@ -3,11 +3,13 @@
 import pytest
 
 from repro.cluster.topology import paper_cluster
-from repro.orchestrator.api import make_pod_spec
+from repro.errors import EpcExhaustedError
+from repro.orchestrator.api import PodPhase, make_pod_spec
 from repro.orchestrator.controller import Orchestrator
 from repro.scheduler.binpack import BinpackScheduler
 from repro.scheduler.rebalancer import EpcRebalancer
-from repro.units import mib
+from repro.sgx.migration import MigrationManager
+from repro.units import mib, pages
 
 
 def overcommitted_orchestrator():
@@ -113,3 +115,130 @@ class TestRebalancing:
         rebalancer.rebalance(now=100.0)
         second = rebalancer.rebalance(now=200.0)
         assert second.actions == []
+
+    def test_exhausted_budget_stops_victim_scans(self, monkeypatch):
+        """Regression: the budget was only honoured inside the victim
+        loop — later over-committed nodes still ran their (driver-
+        touching) victim scan with nothing left to spend."""
+        orchestrator, _ = overcommitted_orchestrator()
+        rebalancer = EpcRebalancer(orchestrator, max_migrations_per_pass=0)
+        calls = []
+        monkeypatch.setattr(
+            EpcRebalancer,
+            "_victims",
+            lambda self, node_name: calls.append(node_name) or [],
+        )
+        report = rebalancer.rebalance(now=100.0)
+        assert calls == []
+        assert report.actions == []
+        assert report.unrelieved_nodes != []
+
+
+class TestFailedMigration:
+    def test_failed_restore_resubmits_pod(self, monkeypatch):
+        """Regression: a restore failure left the pod failed-and-gone
+        (the checkpoint destroys the source enclave first) while the
+        rebalancer silently continued.  The spec must be resubmitted."""
+        orchestrator, pods = overcommitted_orchestrator()
+
+        def exploding_restore(self, driver, pid, checkpoint, key, aesm):
+            raise EpcExhaustedError(checkpoint.size_bytes // 4096, 0)
+
+        monkeypatch.setattr(MigrationManager, "restore", exploding_restore)
+        report = EpcRebalancer(orchestrator).rebalance(now=100.0)
+        assert report.actions == []
+        assert len(report.failed) >= 1
+        by_name = {p.name: p for p in pods}
+        for failure in report.failed:
+            original = by_name[failure.pod_name]
+            assert original.phase is PodPhase.FAILED
+            replacement = failure.replacement
+            assert replacement is not original
+            assert replacement.spec is original.spec
+            assert replacement in orchestrator.queue
+            assert replacement.phase is PodPhase.PENDING
+        # Nothing is silently lost: every submitted workload is either
+        # still running or queued again.
+        lost = [
+            p
+            for p in pods
+            if p.phase is PodPhase.FAILED
+            and p.name not in {f.pod_name for f in report.failed}
+        ]
+        assert lost == []
+
+    def test_failure_without_checkpoint_leaves_pod_running(
+        self, monkeypatch
+    ):
+        """A precondition failure (before the checkpoint) must not
+        resubmit anything — the pod still runs on its source."""
+        orchestrator, pods = overcommitted_orchestrator()
+        from repro.errors import OrchestrationError
+        from repro.orchestrator.controller import Orchestrator
+
+        def refuse(self, pod, target, now):
+            raise OrchestrationError("injected pre-checkpoint failure")
+
+        monkeypatch.setattr(Orchestrator, "migrate_pod", refuse)
+        report = EpcRebalancer(orchestrator).rebalance(now=100.0)
+        assert report.actions == []
+        assert report.failed == []
+        assert all(p.phase is PodPhase.RUNNING for p in pods)
+
+
+class TestMeasuredPagesFit:
+    def test_grown_enclave_sized_by_driver_measurement(self):
+        """Regression: the fit check sized moves by the declared
+        workload pages; an SGX2 enclave grown via EAUG occupies more,
+        and moving it by the stale size over-commits the target."""
+        orchestrator = Orchestrator(
+            paper_cluster(
+                enforce_epc_limits=False,
+                epc_allow_overcommit=True,
+                sgx_version=2,
+            )
+        )
+        scheduler = BinpackScheduler()
+        # Steer by declared sizes: filler fills sgx-worker-0, the
+        # grower and its neighbour land on sgx-worker-1.
+        filler = orchestrator.submit(
+            make_pod_spec(
+                "filler", duration_seconds=600.0,
+                declared_epc_bytes=mib(60),
+            ),
+            now=0.0,
+        )
+        grower = orchestrator.submit(
+            make_pod_spec(
+                "grower", duration_seconds=600.0,
+                declared_epc_bytes=mib(34), actual_epc_bytes=mib(30),
+            ),
+            now=0.1,
+        )
+        neighbour = orchestrator.submit(
+            make_pod_spec(
+                "neighbour", duration_seconds=600.0,
+                declared_epc_bytes=mib(34), actual_epc_bytes=mib(40),
+            ),
+            now=0.2,
+        )
+        result = orchestrator.scheduling_pass(scheduler, now=1.0)
+        assert len(result.launched) == 3
+        for pod, _ in result.launched:
+            orchestrator.start_pod(pod, now=1.5)
+        assert filler.node_name == "sgx-worker-0"
+        assert grower.node_name == "sgx-worker-1"
+        assert neighbour.node_name == "sgx-worker-1"
+        # EAUG the grower past what sgx-worker-0's free pages can host.
+        kubelet = orchestrator.kubelets["sgx-worker-1"]
+        kubelet.grow_pod_epc(grower, pages(mib(50)))
+        rebalancer = EpcRebalancer(orchestrator)
+        assert rebalancer.overcommitted_nodes() == ["sgx-worker-1"]
+        report = rebalancer.rebalance(now=100.0)
+        # Neither enclave fits sgx-worker-0's 33.5 MiB of free pages
+        # once sized by the driver's measurement: no bogus migration.
+        assert report.actions == []
+        assert report.failed == []
+        assert report.unrelieved_nodes == ["sgx-worker-1"]
+        target_epc = orchestrator.cluster.node("sgx-worker-0").epc
+        assert target_epc is not None and not target_epc.overcommitted
