@@ -1,0 +1,176 @@
+"""Bench regression gate: fresh sweeps vs the committed baselines.
+
+Re-runs the ``run_bench`` sweeps and compares each row's headline
+metric against the matching row of the committed ``BENCH_*.json``:
+
+* ``state_cache``  — ``speedup``  (cached vs full-scan snapshot);
+* ``event_sched``  — ``pass_reduction`` (passes skipped by triggers);
+* ``sched_scale``  — ``speedup``  (indexed vs full-scan placement).
+
+A fresh metric may fall below its baseline by at most the tolerance
+band (relative, default 50% — CI machines are noisy; the gate is after
+order-of-magnitude regressions, not single-digit jitter).  Correctness
+flags (``identical`` / ``bit_for_bit_identical``) must hold outright.
+
+Exit status: 0 all good, 1 regression or broken equivalence, 2 usage
+or missing baseline.  CI runs this as an *advisory* job::
+
+    PYTHONPATH=src python benchmarks/check_regression.py --quick
+
+``--quick`` restricts every sweep to its cheapest baseline-comparable
+configuration (smallest sizes for state_cache/event_sched, a single
+repeat of the headline sched_scale point), which keeps the job under a
+minute while still catching the regressions that matter — an
+accidental fallback to the slow path shows up at any size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import run_bench
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: benchmark name -> (baseline file, headline metric, row key fields,
+#: correctness flag or None)
+GATES = {
+    "state_cache": (
+        "BENCH_state_cache.json", "speedup", ("pods",), None
+    ),
+    "event_sched": (
+        "BENCH_event_sched.json",
+        "pass_reduction",
+        ("pods",),
+        "bit_for_bit_identical",
+    ),
+    "sched_scale": (
+        "BENCH_sched_scale.json",
+        "speedup",
+        ("scheduler", "pods", "nodes"),
+        "identical",
+    ),
+}
+
+
+def fresh_reports(names, quick: bool) -> dict:
+    """Run the selected sweeps; ``quick`` keeps each at its cheapest
+    baseline-comparable point.  Only the sweeps in *names* execute —
+    the others can cost minutes at full size."""
+    reports = {}
+    for name in names:
+        if name == "state_cache":
+            reports[name] = (
+                run_bench.run(sizes=(250,), repeats=5)
+                if quick
+                else run_bench.run()
+            )
+        elif name == "event_sched":
+            reports[name] = run_bench.run_event_sched(
+                sizes=(250,) if quick else (250, 1000, 2000)
+            )
+        else:
+            # Quick mode still runs the headline 2000x200 binpack point
+            # (a smaller one would have no baseline row to compare
+            # against) but with a single repeat instead of five.
+            scheduler, pods, nodes, _ = run_bench.SCHED_SCALE_POINTS[0]
+            reports[name] = run_bench.run_sched_scale(
+                points=(
+                    ((scheduler, pods, nodes, 1),)
+                    if quick
+                    else run_bench.SCHED_SCALE_POINTS
+                )
+            )
+    return reports
+
+
+def compare(name: str, fresh: dict, tolerance: float) -> list:
+    """Failures of *fresh* against the committed baseline of *name*."""
+    baseline_file, metric, keys, flag = GATES[name]
+    baseline_path = REPO_ROOT / baseline_file
+    baseline = json.loads(baseline_path.read_text())
+    baseline_rows = {
+        tuple(row[k] for k in keys): row for row in baseline["results"]
+    }
+    failures = []
+    for row in fresh["results"]:
+        key = tuple(row[k] for k in keys)
+        label = f"{name}[{', '.join(map(str, key))}]"
+        if flag is not None and row[flag] is not True:
+            failures.append(f"{label}: {flag} is {row[flag]!r}")
+            continue
+        base_row = baseline_rows.get(key)
+        if base_row is None:
+            print(f"  {label}: no baseline row, skipped")
+            continue
+        floor = base_row[metric] * (1.0 - tolerance)
+        verdict = "ok" if row[metric] >= floor else "REGRESSION"
+        print(
+            f"  {label}: {metric} {row[metric]:.2f} "
+            f"(baseline {base_row[metric]:.2f}, floor {floor:.2f}) "
+            f"{verdict}"
+        )
+        if row[metric] < floor:
+            failures.append(
+                f"{label}: {metric} {row[metric]:.2f} < floor "
+                f"{floor:.2f} (baseline {base_row[metric]:.2f})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare fresh bench runs against BENCH_*.json."
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed relative drop below baseline (default %(default)s)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="cheapest baseline-comparable configuration per sweep "
+        "(advisory CI mode)",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default=",".join(GATES),
+        help="comma-separated subset of: %(default)s",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+    names = [n for n in args.benchmarks.split(",") if n]
+    unknown = [n for n in names if n not in GATES]
+    if unknown:
+        parser.error(f"unknown benchmark(s): {', '.join(unknown)}")
+    missing = [
+        GATES[n][0]
+        for n in names
+        if not (REPO_ROOT / GATES[n][0]).exists()
+    ]
+    if missing:
+        print(f"missing baseline file(s): {', '.join(missing)}")
+        return 2
+
+    reports = fresh_reports(names, args.quick)
+    failures = []
+    for name in names:
+        print(f"{name}:")
+        failures.extend(compare(name, reports[name], args.tolerance))
+    if failures:
+        print("\nREGRESSIONS:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("\nall benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

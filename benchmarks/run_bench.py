@@ -1,7 +1,7 @@
-"""Benchmark runner: emits ``BENCH_state_cache.json`` and
-``BENCH_event_sched.json``.
+"""Benchmark runner: emits ``BENCH_state_cache.json``,
+``BENCH_event_sched.json`` and ``BENCH_sched_scale.json``.
 
-Two sweeps over the scheduling hot path:
+Three sweeps over the scheduling hot path:
 
 * **state_cache** — the scheduler's per-pass snapshot latency (the two
   Listing-1 sliding-window queries behind
@@ -12,7 +12,12 @@ Two sweeps over the scheduling hot path:
   scheduling loop versus the event-driven trigger mode
   (``ReplayConfig(event_driven=True)``): scheduling passes executed,
   wall-clock, and a bit-for-bit equivalence check of every pod's
-  lifecycle timestamps, at 250–2000 pods.
+  lifecycle timestamps, at 250–2000 pods;
+* **sched_scale** — the placement loop *inside* one pass: a pending
+  batch scheduled against a large cluster with the per-pod full scan
+  versus the incremental node-candidate index
+  (``Scheduler(indexed=True)``), with an outcome-identity check, at up
+  to 5000 pods over 200 nodes.
 
 Run from the repo root::
 
@@ -20,13 +25,16 @@ Run from the repo root::
 
 The JSON lands next to this repo's README so the perf trajectory of the
 hot path is tracked from PR to PR.  The pytest wrappers
-(``test_ext_state_cache.py``, ``test_ext_event_sched.py``) reuse the
-same builders on tiny configurations.
+(``test_ext_state_cache.py``, ``test_ext_event_sched.py``,
+``test_ext_sched_scale.py``) reuse the same builders on tiny
+configurations, and ``benchmarks/check_regression.py`` replays the
+sweeps against the committed JSON baselines as a regression gate.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import statistics
 import sys
 import time
@@ -34,14 +42,28 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.constants import METRICS_WINDOW_SECONDS  # noqa: E402
+from repro.cluster.resources import ResourceVector  # noqa: E402
+from repro.constants import (  # noqa: E402
+    EPC_TOTAL_BYTES,
+    METRICS_WINDOW_SECONDS,
+)
 from repro.monitoring.aggregate import WindowedAggregateCache  # noqa: E402
 from repro.monitoring.heapster import MEASUREMENT_MEMORY  # noqa: E402
 from repro.monitoring.probe import MEASUREMENT_EPC  # noqa: E402
 from repro.monitoring.tsdb import TimeSeriesDatabase  # noqa: E402
-from repro.scheduler.base import ClusterStateService  # noqa: E402
-from repro.simulation.runner import ReplayConfig, replay_trace  # noqa: E402
+from repro.orchestrator.api import make_pod_spec  # noqa: E402
+from repro.orchestrator.pod import Pod  # noqa: E402
+from repro.scheduler.base import (  # noqa: E402
+    ClusterStateService,
+    NodeView,
+)
+from repro.simulation.runner import (  # noqa: E402
+    ReplayConfig,
+    make_scheduler,
+    replay_trace,
+)
 from repro.trace.borg import synthetic_scaled_trace  # noqa: E402
+from repro.units import gib, mib, pages  # noqa: E402
 
 #: Simulated pass time; all windows are evaluated at this instant.
 NOW = 600.0
@@ -217,6 +239,147 @@ def run_event_sched(sizes=(250, 1000, 2000)) -> dict:
     }
 
 
+#: Every Nth node in the sched_scale cluster carries SGX.
+SCHED_SCALE_SGX_STRIDE = 4
+
+
+def build_sched_pass(n_pods: int, n_nodes: int, seed: int = 3):
+    """One pass's inputs: *n_nodes* views and a *n_pods* pending batch.
+
+    Mirrors a scaled cluster mid-replay: a quarter of the nodes carry
+    SGX, every node already runs a random measured load, and the
+    pending queue mixes standard pods (memory-bound) with enclave pods
+    (EPC-bound).  The batch intentionally oversubscribes the cluster so
+    the sweep exercises both the placement path and the
+    everything-deferred tail of a saturated pass.
+    """
+    rng = random.Random(seed)
+    epc_pages = pages(EPC_TOTAL_BYTES)
+    views = []
+    for i in range(n_nodes):
+        sgx = i % SCHED_SCALE_SGX_STRIDE == 0
+        capacity = ResourceVector(
+            cpu_millicores=16000,
+            memory_bytes=gib(32) if sgx else gib(64),
+            epc_pages=epc_pages if sgx else 0,
+        )
+        used = ResourceVector(
+            cpu_millicores=rng.randrange(0, 4000),
+            memory_bytes=rng.randrange(0, gib(8)),
+            epc_pages=rng.randrange(0, epc_pages // 4) if sgx else 0,
+        )
+        views.append(
+            NodeView(
+                name=f"node-{i:04d}",
+                sgx_capable=sgx,
+                capacity=capacity,
+                used=used,
+                committed=used,
+            )
+        )
+    pods = []
+    for i in range(n_pods):
+        if rng.random() < SGX_FRACTION:
+            spec = make_pod_spec(
+                f"enclave-{i:05d}",
+                duration_seconds=60.0,
+                declared_epc_bytes=mib(rng.choice((8, 16, 32, 64))),
+            )
+        else:
+            spec = make_pod_spec(
+                f"standard-{i:05d}",
+                duration_seconds=60.0,
+                declared_memory_bytes=gib(rng.choice((1, 2, 4, 8))),
+            )
+        pods.append(Pod(spec, submitted_at=float(i)))
+    return views, pods
+
+
+def _clone_views(views):
+    return [
+        NodeView(
+            name=view.name,
+            sgx_capable=view.sgx_capable,
+            capacity=view.capacity,
+            used=view.used,
+            committed=view.committed,
+        )
+        for view in views
+    ]
+
+
+def _outcome_signature(outcome):
+    return (
+        [(a.pod.name, a.node_name) for a in outcome.assignments],
+        [pod.name for pod in outcome.unschedulable],
+        [pod.name for pod in outcome.deferred],
+    )
+
+
+def time_sched_pass(scheduler_name, indexed, views, pods, repeats):
+    """Median seconds of one full batch pass, plus its outcome."""
+    scheduler = make_scheduler(
+        ReplayConfig(
+            scheduler=scheduler_name, indexed_scheduling=indexed
+        )
+    )
+    timings = []
+    outcome = None
+    for _ in range(repeats):
+        pass_views = _clone_views(views)
+        start = time.perf_counter()
+        outcome = scheduler.schedule(pods, pass_views, now=600.0)
+        timings.append(time.perf_counter() - start)
+    return statistics.median(timings), outcome
+
+
+#: (scheduler, pods, nodes, repeats): the headline row is binpack at
+#: 2000×200 (the ISSUE's ≥5x target); 5000 pods shows the trend and the
+#: spread/kube rows show the index helps every strategy.  Spread stays
+#: smaller because the *oracle* is quadratic in nodes per pod.
+SCHED_SCALE_POINTS = (
+    ("binpack", 2000, 200, 5),
+    ("binpack", 5000, 200, 3),
+    ("kube-default", 2000, 200, 5),
+    ("spread", 600, 60, 3),
+)
+
+
+def run_sched_scale(points=SCHED_SCALE_POINTS) -> dict:
+    """Per-pass placement latency: full scan vs candidate index."""
+    results = []
+    for scheduler_name, n_pods, n_nodes, repeats in points:
+        views, pods = build_sched_pass(n_pods, n_nodes)
+        full_s, full_outcome = time_sched_pass(
+            scheduler_name, False, views, pods, repeats
+        )
+        indexed_s, indexed_outcome = time_sched_pass(
+            scheduler_name, True, views, pods, repeats
+        )
+        results.append(
+            {
+                "scheduler": scheduler_name,
+                "pods": n_pods,
+                "nodes": n_nodes,
+                "placed": len(full_outcome.assignments),
+                "deferred": len(full_outcome.deferred),
+                "full_scan_ms": round(full_s * 1e3, 3),
+                "indexed_ms": round(indexed_s * 1e3, 3),
+                "speedup": round(full_s / indexed_s, 2),
+                "identical": (
+                    _outcome_signature(full_outcome)
+                    == _outcome_signature(indexed_outcome)
+                ),
+            }
+        )
+    return {
+        "benchmark": "sched_scale",
+        "sgx_fraction": SGX_FRACTION,
+        "sgx_node_fraction": round(1 / SCHED_SCALE_SGX_STRIDE, 4),
+        "results": results,
+    }
+
+
 def main() -> None:
     report = run()
     out_path = Path(__file__).resolve().parent.parent / (
@@ -246,6 +409,21 @@ def main() -> None:
             f"identical={row['bit_for_bit_identical']})"
         )
     print(f"wrote {event_path}")
+
+    scale_report = run_sched_scale()
+    scale_path = Path(__file__).resolve().parent.parent / (
+        "BENCH_sched_scale.json"
+    )
+    scale_path.write_text(json.dumps(scale_report, indent=2) + "\n")
+    for row in scale_report["results"]:
+        print(
+            f"{row['scheduler']:>12} {row['pods']:>5} pods / "
+            f"{row['nodes']:>3} nodes: full {row['full_scan_ms']:.1f} ms  "
+            f"indexed {row['indexed_ms']:.1f} ms  "
+            f"speedup {row['speedup']:.1f}x  "
+            f"identical={row['identical']}"
+        )
+    print(f"wrote {scale_path}")
 
 
 if __name__ == "__main__":

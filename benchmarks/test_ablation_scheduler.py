@@ -8,7 +8,6 @@
 """
 
 from conftest import run_once
-
 from repro.simulation.runner import ReplayConfig, replay_trace
 from repro.units import fmt_duration
 

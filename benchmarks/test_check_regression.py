@@ -1,0 +1,103 @@
+"""Exit-code and comparison semantics of the bench regression gate.
+
+The sweeps themselves are exercised by their own smoke tests; these
+tests cover the gate's plumbing — argument validation, baseline
+lookup, the tolerance band — with synthetic reports, so no sweep runs.
+"""
+
+import json
+
+import pytest
+
+import check_regression
+
+
+class TestArguments:
+    def test_unknown_benchmark_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            check_regression.main(["--benchmarks", "nope"])
+        assert excinfo.value.code == 2
+
+    def test_tolerance_out_of_range_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            check_regression.main(["--tolerance", "1.5"])
+        assert excinfo.value.code == 2
+
+    def test_missing_baseline_returns_2(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(check_regression, "REPO_ROOT", tmp_path)
+        assert check_regression.main(["--quick"]) == 2
+
+
+def write_baseline(tmp_path, speedup):
+    (tmp_path / "BENCH_sched_scale.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "sched_scale",
+                "results": [
+                    {
+                        "scheduler": "binpack",
+                        "pods": 100,
+                        "nodes": 10,
+                        "speedup": speedup,
+                        "identical": True,
+                    }
+                ],
+            }
+        )
+    )
+
+
+def fresh_row(speedup, identical=True):
+    return {
+        "results": [
+            {
+                "scheduler": "binpack",
+                "pods": 100,
+                "nodes": 10,
+                "speedup": speedup,
+                "identical": identical,
+            }
+        ]
+    }
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(check_regression, "REPO_ROOT", tmp_path)
+        write_baseline(tmp_path, speedup=10.0)
+        failures = check_regression.compare(
+            "sched_scale", fresh_row(6.0), tolerance=0.5
+        )
+        assert failures == []
+
+    def test_below_floor_fails(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(check_regression, "REPO_ROOT", tmp_path)
+        write_baseline(tmp_path, speedup=10.0)
+        failures = check_regression.compare(
+            "sched_scale", fresh_row(4.0), tolerance=0.5
+        )
+        assert len(failures) == 1
+        assert "speedup 4.00" in failures[0]
+        assert "floor 5.00" in failures[0]
+
+    def test_broken_equivalence_always_fails(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(check_regression, "REPO_ROOT", tmp_path)
+        write_baseline(tmp_path, speedup=10.0)
+        failures = check_regression.compare(
+            "sched_scale",
+            fresh_row(100.0, identical=False),
+            tolerance=0.5,
+        )
+        assert failures and "identical" in failures[0]
+
+    def test_unknown_row_is_skipped_not_failed(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(check_regression, "REPO_ROOT", tmp_path)
+        write_baseline(tmp_path, speedup=10.0)
+        fresh = fresh_row(6.0)
+        fresh["results"][0]["pods"] = 999
+        failures = check_regression.compare(
+            "sched_scale", fresh, tolerance=0.5
+        )
+        assert failures == []

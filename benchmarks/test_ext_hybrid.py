@@ -7,7 +7,6 @@ RAM/EPC imbalance of the SGX machines (8 GiB vs 93.5 MiB).
 """
 
 from conftest import run_once
-
 from repro.experiments.ext_hybrid import (
     format_ext_hybrid,
     run_ext_hybrid,

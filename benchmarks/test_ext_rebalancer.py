@@ -9,7 +9,6 @@ after, versus the migration downtime it cost.
 """
 
 from conftest import run_once
-
 from repro.cluster.topology import paper_cluster
 from repro.orchestrator.api import make_pod_spec
 from repro.orchestrator.controller import Orchestrator

@@ -6,7 +6,6 @@ over-committed paging time it claws back, at what migration cost.
 """
 
 from conftest import run_once
-
 from repro.simulation.runner import ReplayConfig, replay_trace
 
 

@@ -7,7 +7,6 @@ prediction on a bursty enclave workload over the paper's cluster.
 """
 
 from conftest import run_once
-
 from repro.experiments.ext_sgx2 import format_ext_sgx2, run_ext_sgx2
 
 

@@ -1,7 +1,6 @@
 """Fig. 3 bench: distribution of maximal memory usage in the trace."""
 
 from conftest import run_once
-
 from repro.experiments.fig3_memory_cdf import format_fig3, run_fig3
 
 

@@ -1,7 +1,6 @@
 """Fig. 4 bench: distribution of job duration in the trace."""
 
 from conftest import run_once
-
 from repro.experiments.fig4_duration_cdf import format_fig4, run_fig4
 
 

@@ -1,7 +1,6 @@
 """Fig. 5 bench: concurrently running jobs over the trace's first 24 h."""
 
 from conftest import run_once
-
 from repro.experiments.fig5_concurrency import format_fig5, run_fig5
 
 

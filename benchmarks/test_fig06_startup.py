@@ -1,8 +1,8 @@
 """Fig. 6 bench: SGX process startup versus requested EPC size."""
 
 import pytest
-from conftest import run_once
 
+from conftest import run_once
 from repro.experiments.fig6_startup import format_fig6, run_fig6
 
 

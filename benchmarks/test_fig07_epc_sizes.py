@@ -5,7 +5,6 @@ Paper targets: makespans of ~4 h 47 min (32 MiB), 2 h 47 min (64 MiB),
 """
 
 from conftest import run_once
-
 from repro.experiments.fig7_epc_sizes import format_fig7, run_fig7
 from repro.units import fmt_duration
 

@@ -5,7 +5,6 @@ it; the pure-SGX run "goes off the chart" (longest wait 4696 s).
 """
 
 from conftest import run_once
-
 from repro.experiments.fig8_waiting_cdf import format_fig8, run_fig8
 
 

@@ -6,7 +6,6 @@ least as well as spread.
 """
 
 from conftest import run_once
-
 from repro.experiments.fig9_strategies import format_fig9, run_fig9
 
 

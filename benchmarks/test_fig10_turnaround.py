@@ -6,7 +6,6 @@ standard counterparts (210 h vs 111 h under binpack).
 """
 
 from conftest import run_once
-
 from repro.experiments.fig10_turnaround import format_fig10, run_fig10
 
 

@@ -7,7 +7,6 @@ over-allocators are killed at launch.
 """
 
 from conftest import run_once
-
 from repro.experiments.fig11_limits import format_fig11, run_fig11
 
 

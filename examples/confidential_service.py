@@ -16,7 +16,7 @@ from repro import (
     make_pod_spec,
     paper_cluster,
 )
-from repro.sgx.sealing import SealPolicy, SealingError, SealingService
+from repro.sgx.sealing import SealingError, SealingService, SealPolicy
 from repro.units import mib
 
 SECRET_STATE = b"user-keys: alice=0xA11CE, bob=0xB0B"

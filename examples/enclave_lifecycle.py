@@ -30,8 +30,10 @@ def main() -> None:
     perf = SgxPerfModel()
 
     print("Driver module parameters (as under /sys/module/isgx/parameters):")
-    print(f"  sgx_nr_total_epc_pages = {driver.read_parameter(PARAM_TOTAL_PAGES)}")
-    print(f"  sgx_nr_free_pages      = {driver.read_parameter(PARAM_FREE_PAGES)}")
+    total = driver.read_parameter(PARAM_TOTAL_PAGES)
+    free = driver.read_parameter(PARAM_FREE_PAGES)
+    print(f"  sgx_nr_total_epc_pages = {total}")
+    print(f"  sgx_nr_free_pages      = {free}")
 
     # Kubelet relays the pod's EPC limit before containers start.
     pod_cgroup = "/kubepods/burstable/pod-demo"

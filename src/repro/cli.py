@@ -20,6 +20,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 from .experiments import common
 from .experiments.ext_hybrid import format_ext_hybrid, run_ext_hybrid
 from .experiments.ext_sgx2 import format_ext_sgx2, run_ext_sgx2
+from .experiments.fig10_turnaround import format_fig10, run_fig10
+from .experiments.fig11_limits import format_fig11, run_fig11
 from .experiments.fig3_memory_cdf import format_fig3, run_fig3
 from .experiments.fig4_duration_cdf import format_fig4, run_fig4
 from .experiments.fig5_concurrency import format_fig5, run_fig5
@@ -27,8 +29,6 @@ from .experiments.fig6_startup import format_fig6, run_fig6
 from .experiments.fig7_epc_sizes import format_fig7, run_fig7
 from .experiments.fig8_waiting_cdf import format_fig8, run_fig8
 from .experiments.fig9_strategies import format_fig9, run_fig9
-from .experiments.fig10_turnaround import format_fig10, run_fig10
-from .experiments.fig11_limits import format_fig11, run_fig11
 
 #: name -> (description, needs_trace, run, format)
 _FIGURES: Dict[str, Tuple[str, bool, Callable, Callable]] = {

@@ -5,9 +5,9 @@ and the kernel-level accounting structures (cgroups) the limit-enforcement
 channel relies on (Section V-D).
 """
 
-from .resources import ResourceVector
-from .cgroups import CgroupHierarchy, Cgroup
+from .cgroups import Cgroup, CgroupHierarchy
 from .node import Node, NodeSpec
+from .resources import ResourceVector
 from .topology import Cluster, paper_cluster, uniform_cluster
 
 __all__ = [

@@ -164,7 +164,7 @@ class Node:
         self.cgroups.detach(pid)
         del self._process_memory[pid]
 
-    # -- measured usage (what probes report) -----------------------------------
+    # -- measured usage (what probes report) ------------------------------
 
     def used_memory_bytes(self) -> int:
         """Total resident standard memory across all processes."""

@@ -10,7 +10,7 @@ therefore not part of the schedulable cluster.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List
 
 from ..constants import (
     EPC_TOTAL_BYTES,
@@ -76,7 +76,7 @@ class Cluster:
         """Nodes without SGX support."""
         return [n for n in self._nodes.values() if not n.sgx_capable]
 
-    # -- aggregate capacity ----------------------------------------------------
+    # -- aggregate capacity -----------------------------------------------
 
     def total_capacity(self) -> ResourceVector:
         """Sum of node capacities."""

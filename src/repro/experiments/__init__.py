@@ -8,6 +8,8 @@ wrapper around these drivers.
 """
 
 from .common import default_trace, format_table
+from .fig10_turnaround import run_fig10
+from .fig11_limits import run_fig11
 from .fig3_memory_cdf import run_fig3
 from .fig4_duration_cdf import run_fig4
 from .fig5_concurrency import run_fig5
@@ -15,8 +17,6 @@ from .fig6_startup import run_fig6
 from .fig7_epc_sizes import run_fig7
 from .fig8_waiting_cdf import run_fig8
 from .fig9_strategies import run_fig9
-from .fig10_turnaround import run_fig10
-from .fig11_limits import run_fig11
 
 __all__ = [
     "default_trace",

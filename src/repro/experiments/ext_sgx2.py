@@ -23,20 +23,20 @@ modes.  The SGX 2 run finishes the batch strictly earlier.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 import numpy as np
 
+from ..cluster.resources import ResourceVector
 from ..cluster.topology import paper_cluster
 from ..errors import EpcExhaustedError
-from ..orchestrator.controller import Orchestrator
 from ..orchestrator.api import (
     PodSpec,
     ResourceRequirements,
     WorkloadProfile,
 )
-from ..cluster.resources import ResourceVector
+from ..orchestrator.controller import Orchestrator
 from ..orchestrator.pod import Pod
 from ..scheduler.binpack import BinpackScheduler
 from ..simulation.engine import SimulationEngine

@@ -16,11 +16,11 @@ in-memory equivalent:
   aggregate cache that answers Listing 1's inner query incrementally.
 """
 
-from .tsdb import Point, TimeSeriesDatabase
-from .influxql import InfluxQLError, execute_query, parse_query
-from .heapster import Heapster, MEASUREMENT_MEMORY
-from .probe import SgxMetricsProbe, MEASUREMENT_EPC
 from .aggregate import SeriesAggregate, WindowedAggregateCache
+from .heapster import MEASUREMENT_MEMORY, Heapster
+from .influxql import InfluxQLError, execute_query, parse_query
+from .probe import MEASUREMENT_EPC, SgxMetricsProbe
+from .tsdb import Point, TimeSeriesDatabase
 
 __all__ = [
     "Heapster",

@@ -25,7 +25,7 @@ conjunctive ``WHERE`` clauses with ``now() - <duration>`` arithmetic, and
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..errors import QueryError
@@ -223,7 +223,9 @@ class _Parser:
             )
         return token
 
-    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+    def _accept(
+        self, kind: str, text: Optional[str] = None
+    ) -> Optional[Token]:
         token = self._peek()
         if (
             token is not None

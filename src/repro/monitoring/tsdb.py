@@ -37,7 +37,10 @@ class Point:
 
     @classmethod
     def make(
-        cls, time: float, value: float, tags: Optional[Mapping[str, str]] = None
+        cls,
+        time: float,
+        value: float,
+        tags: Optional[Mapping[str, str]] = None,
     ) -> "Point":
         """Build a point from a tag mapping (normalised, hashable)."""
         items = tuple(sorted((tags or {}).items()))

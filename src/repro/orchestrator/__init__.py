@@ -14,20 +14,20 @@ everything together (:mod:`repro.orchestrator.controller`).
 """
 
 from .api import (
+    SGX_EPC_RESOURCE,
     PodPhase,
     PodSpec,
     ResourceRequirements,
     WorkloadProfile,
-    SGX_EPC_RESOURCE,
 )
+from .controller import Orchestrator
+from .daemonset import DaemonSet, DaemonSetController
+from .device_plugin import DevicePluginRegistry, SgxDevicePlugin
+from .kubelet import Kubelet
 from .pod import Pod
 from .queue import PendingQueue
 from .rpc import RpcChannel, RpcServer
-from .device_plugin import DevicePluginRegistry, SgxDevicePlugin
-from .kubelet import Kubelet
-from .daemonset import DaemonSet, DaemonSetController
 from .triggers import ClusterEvent, SchedulingTrigger, TriggerEvent
-from .controller import Orchestrator
 
 __all__ = [
     "ClusterEvent",

@@ -27,6 +27,7 @@ from ..monitoring.heapster import Heapster
 from ..monitoring.probe import SgxMetricsProbe
 from ..monitoring.tsdb import TimeSeriesDatabase
 from ..scheduler.base import ClusterStateService, Scheduler
+from ..scheduler.index import SelectionStats
 from ..sgx.migration import MigrationManager
 from ..sgx.perf import SgxPerfModel
 from .api import PodSpec
@@ -57,6 +58,9 @@ class PassResult:
     requeued: List[Pod] = field(default_factory=list)
     #: Pods left pending.
     deferred: List[Pod] = field(default_factory=list)
+    #: Counters of the indexed candidate selection, when the scheduler
+    #: ran this pass in indexed mode (``None`` for the oracle path).
+    selection: Optional[SelectionStats] = None
 
 
 class Orchestrator:
@@ -268,6 +272,7 @@ class Orchestrator:
             return result
         views = self.state_service.build_views(now)
         outcome = scheduler.schedule(pending, views, now)
+        result.selection = scheduler.last_selection_stats
 
         for pod in outcome.unschedulable:
             self.queue.remove(pod)

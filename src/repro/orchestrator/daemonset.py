@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, TypeVar
 
-from ..cluster.node import Node
 from .kubelet import Kubelet
 
 Payload = TypeVar("Payload")

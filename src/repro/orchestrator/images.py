@@ -17,7 +17,7 @@ node.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from typing import Dict, Set
 
 from ..errors import OrchestrationError
 from ..units import mib

@@ -31,12 +31,12 @@ from ..errors import (
     EpcExhaustedError,
     NodeError,
 )
+from ..monitoring.heapster import PodUsage
 from ..sgx.aesm import PlatformSoftware
 from ..sgx.enclave import Enclave
 from ..sgx.perf import SgxPerfModel
 from ..units import pages_to_bytes
 from .api import SGX_EPC_RESOURCE
-from ..monitoring.heapster import PodUsage
 from .device_plugin import DevicePluginRegistry
 from .images import ImageRegistry, NodeImageCache
 from .pod import Pod
@@ -92,7 +92,7 @@ class Kubelet:
         #: compares it across passes to reuse node views.
         self.commitment_version = 0
 
-    # -- control-plane queries -------------------------------------------------
+    # -- control-plane queries --------------------------------------------
 
     @property
     def pod_count(self) -> int:
@@ -116,7 +116,7 @@ class Kubelet:
         """EPC page items advertised by the device plugin (0 if none)."""
         return self.devices.capacity(SGX_EPC_RESOURCE)
 
-    # -- pod lifecycle ----------------------------------------------------------
+    # -- pod lifecycle ----------------------------------------------------
 
     def admit(self, pod: Pod) -> AdmissionResult:
         """Launch *pod* on this node; returns the startup outcome.
@@ -126,7 +126,9 @@ class Kubelet:
         paper's "immediately killed after launch" over-allocators.
         """
         if pod.uid in self._records:
-            raise NodeError(f"pod {pod.name} already admitted on {self.node.name}")
+            raise NodeError(
+                f"pod {pod.name} already admitted on {self.node.name}"
+            )
         workload = pod.spec.workload
         if workload is None:
             raise NodeError(f"pod {pod.name} has no workload profile")
@@ -347,7 +349,7 @@ class Kubelet:
             self.node.cgroups.remove(record.cgroup_path)
         self._records.pop(record.pod.uid, None)
 
-    # -- monitoring interfaces ---------------------------------------------------
+    # -- monitoring interfaces --------------------------------------------
 
     def pod_memory_usage(self) -> List[PodUsage]:
         """Per-pod standard memory, for the Heapster collector."""

@@ -137,7 +137,8 @@ class PendingQueue:
     def total_requested_epc_pages(self) -> int:
         """Sum of EPC pages requested by queued pods (Fig. 7's y-axis)."""
         return sum(
-            pod.spec.resources.requests.epc_pages for pod in self._pods.values()
+            pod.spec.resources.requests.epc_pages
+            for pod in self._pods.values()
         )
 
     def total_requested_memory_bytes(self) -> int:

@@ -21,10 +21,11 @@ from .base import (
     Scheduler,
     SchedulingOutcome,
 )
-from .filtering import feasible_nodes, FilterReason
 from .binpack import BinpackScheduler
-from .spread import SpreadScheduler
+from .filtering import FilterReason, feasible_candidates, feasible_nodes
+from .index import NodeCandidateIndex, SelectionStats
 from .kube_default import KubeDefaultScheduler
+from .spread import SpreadScheduler
 
 __all__ = [
     "Assignment",
@@ -32,9 +33,12 @@ __all__ = [
     "ClusterStateService",
     "FilterReason",
     "KubeDefaultScheduler",
+    "NodeCandidateIndex",
     "NodeView",
     "Scheduler",
     "SchedulingOutcome",
+    "SelectionStats",
     "SpreadScheduler",
+    "feasible_candidates",
     "feasible_nodes",
 ]

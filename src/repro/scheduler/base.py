@@ -23,12 +23,13 @@ from ..cluster.resources import ResourceVector
 from ..constants import METRICS_WINDOW_SECONDS
 from ..errors import SchedulingError
 from ..monitoring.aggregate import WindowedAggregateCache
-from ..monitoring.influxql import execute_query, parse_query
 from ..monitoring.heapster import MEASUREMENT_MEMORY
+from ..monitoring.influxql import execute_query, parse_query
 from ..monitoring.probe import MEASUREMENT_EPC
 from ..orchestrator.kubelet import Kubelet
 from ..orchestrator.pod import Pod
-from .filtering import can_ever_fit, feasible_nodes, prefer_non_sgx
+from .filtering import can_ever_fit, feasible_candidates, prefer_non_sgx
+from .index import NodeCandidateIndex, SelectionStats
 
 logger = logging.getLogger(__name__)
 
@@ -347,8 +348,9 @@ class ClusterStateService:
                 if sample is not None:
                     # CPU is not measured; carry the declared value.
                     memory_bytes, epc_pages = sample
+                    requests = pod.spec.resources.requests
                     used = used + ResourceVector(
-                        cpu_millicores=pod.spec.resources.requests.cpu_millicores,
+                        cpu_millicores=requests.cpu_millicores,
                         memory_bytes=memory_bytes,
                         epc_pages=epc_pages,
                     )
@@ -389,6 +391,13 @@ class Scheduler(abc.ABC):
         The paper's node-preservation rule: standard jobs only land on
         SGX nodes when no other node fits (Section IV).  Exposed as a
         toggle for the ablation benchmark.
+    indexed:
+        When ``True``, the pass batches the pending queue against the
+        incremental :class:`~repro.scheduler.index.NodeCandidateIndex`
+        instead of re-scanning every node for every pod.  Selections
+        are bit-for-bit identical to the default full-scan oracle; the
+        toggle exists for A/B benchmarking and because the oracle is
+        the reference the equivalence suite trusts.
     """
 
     name = "abstract"
@@ -398,15 +407,25 @@ class Scheduler(abc.ABC):
         use_measured: bool = True,
         strict_fcfs: bool = False,
         preserve_sgx_nodes: bool = True,
+        indexed: bool = False,
     ):
         self.use_measured = use_measured
         self.strict_fcfs = strict_fcfs
         self.preserve_sgx_nodes = preserve_sgx_nodes
+        self.indexed = indexed
+        #: Membership statics reused across passes until node churn.
+        self._index_statics_cache: Dict = {}
+        #: Counters of the most recent indexed pass (``None`` after an
+        #: oracle pass); the orchestrator copies this into PassResult.
+        self.last_selection_stats: Optional[SelectionStats] = None
 
     def schedule(
         self, pending: Sequence[Pod], views: Sequence[NodeView], now: float
     ) -> SchedulingOutcome:
         """Run one pass over *pending* (oldest first) against *views*."""
+        if self.indexed:
+            return self._schedule_indexed(pending, views, now)
+        self.last_selection_stats = None
         outcome = SchedulingOutcome()
         views = list(views)
         if not self.use_measured:
@@ -416,7 +435,7 @@ class Scheduler(abc.ABC):
             if not can_ever_fit(pod, views):
                 outcome.unschedulable.append(pod)
                 continue
-            candidates, _ = feasible_nodes(pod, views)
+            candidates = feasible_candidates(pod, views)
             if self.preserve_sgx_nodes:
                 candidates = prefer_non_sgx(pod, candidates)
             if not candidates:
@@ -441,6 +460,76 @@ class Scheduler(abc.ABC):
                 Assignment(pod=pod, node_name=chosen.name)
             )
         return outcome
+
+    def _schedule_indexed(
+        self, pending: Sequence[Pod], views: Sequence[NodeView], now: float
+    ) -> SchedulingOutcome:
+        """The batched pass: one index, incremental updates per placement.
+
+        Mirrors :meth:`schedule` step for step — same unschedulable
+        test, same deferral semantics (including the strict-FCFS tail),
+        same saturation sanity check, same ``reserve`` mutation order —
+        but answers each step from the candidate index.  For the
+        built-in strategies a ``None`` selection can only mean "no
+        feasible candidate", which is exactly the oracle's
+        empty-candidates branch, so the outcomes coincide bit for bit.
+        """
+        outcome = SchedulingOutcome()
+        views = list(views)
+        if not self.use_measured:
+            for view in views:
+                view.used = view.committed
+        stats = SelectionStats(pods=len(pending))
+        index = NodeCandidateIndex(
+            views, statics_cache=self._index_statics_cache, stats=stats
+        )
+        self.last_selection_stats = stats
+        for pod in pending:
+            if not index.can_ever_fit(pod):
+                outcome.unschedulable.append(pod)
+                continue
+            had_candidates, chosen = self._select_indexed(pod, index)
+            if not had_candidates:
+                outcome.deferred.append(pod)
+                if self.strict_fcfs:
+                    remaining = list(pending)
+                    tail = remaining[remaining.index(pod) + 1:]
+                    outcome.deferred.extend(tail)
+                    break
+                continue
+            if chosen is None:
+                outcome.deferred.append(pod)
+                continue
+            if not pod.spec.resources.requests.fits_within(chosen.available):
+                raise SchedulingError(
+                    f"{self.name} selected saturated node {chosen.name} "
+                    f"for pod {pod.name}"
+                )
+            chosen.reserve(pod.spec.resources.requests)
+            index.note_reserved(chosen)
+            stats.placements += 1
+            outcome.assignments.append(
+                Assignment(pod=pod, node_name=chosen.name)
+            )
+        return outcome
+
+    def _select_indexed(
+        self, pod: Pod, index: NodeCandidateIndex
+    ) -> Tuple[bool, Optional[NodeView]]:
+        """Indexed-path selection; strategies override for fast paths.
+
+        Returns ``(had_candidates, chosen)``.  This default reproduces
+        the oracle literally — materialise the candidate list (same
+        membership, same input order) and delegate to :meth:`_select` —
+        so any subclass is indexed-correct without opting in to a
+        strategy-specific walk.
+        """
+        candidates = index.candidates(
+            pod, self.preserve_sgx_nodes, in_input_order=True
+        )
+        if not candidates:
+            return False, None
+        return True, self._select(pod, candidates, index.views)
 
     @abc.abstractmethod
     def _select(

@@ -15,16 +15,29 @@ keeps the order consistent within each group.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from ..orchestrator.pod import Pod
 from .base import NodeView, Scheduler
+from .index import NodeCandidateIndex
 
 
 class BinpackScheduler(Scheduler):
     """First-fit over a consistent node order, SGX nodes sorted last."""
 
     name = "sgx-aware-binpack"
+
+    def _select_indexed(
+        self, pod: Pod, index: NodeCandidateIndex
+    ) -> Tuple[bool, Optional[NodeView]]:
+        """First fit straight off the index's precomputed name orders.
+
+        Every feasible candidate fits by definition, so "no fit found"
+        and "no candidates" are the same event — the walk needs neither
+        the candidate list nor the per-pod sort the oracle pays for.
+        """
+        chosen = index.first_fit(pod, self.preserve_sgx_nodes)
+        return chosen is not None, chosen
 
     def _select(
         self,

@@ -9,7 +9,7 @@ the job requests would saturate a node."
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Sequence, Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 from ..orchestrator.pod import Pod
 
@@ -33,7 +33,9 @@ def feasible_nodes(
     """Split *views* into feasible candidates and rejections for *pod*.
 
     Returns the candidates (in input order) and a map of node name to
-    rejection reason for the rest.
+    rejection reason for the rest.  Callers that only need the
+    candidates should use :func:`feasible_candidates`, which skips the
+    per-node rejection bookkeeping.
     """
     requests = pod.spec.resources.requests
     candidates: List["NodeView"] = []
@@ -47,6 +49,24 @@ def feasible_nodes(
             continue
         candidates.append(view)
     return candidates, rejections
+
+
+def feasible_candidates(
+    pod: Pod, views: Sequence["NodeView"]
+) -> List["NodeView"]:
+    """The feasible candidates of :func:`feasible_nodes`, and only them.
+
+    Identical membership and order, without building the rejection map
+    the scheduling pass immediately discards — the diagnostic variant
+    exists for API users who want to explain a deferral.
+    """
+    requests = pod.spec.resources.requests
+    return [
+        view
+        for view in views
+        if (view.sgx_capable or not pod.requires_sgx)
+        and requests.fits_within(view.available)
+    ]
 
 
 def can_ever_fit(pod: Pod, views: Sequence["NodeView"]) -> bool:

@@ -15,15 +15,15 @@ orchestrator depends on:
   (:mod:`repro.sgx.driver`).
 """
 
-from .epc import EpcAllocation, EnclavePageCache
-from .perf import SgxPerfModel, StartupBreakdown
-from .enclave import Enclave, EnclaveState
 from .aesm import AesmService, LaunchToken, PlatformSoftware
 from .driver import (
     IOCTL_GET_EPC_USAGE,
     IOCTL_SET_POD_LIMIT,
     SgxDriver,
 )
+from .enclave import Enclave, EnclaveState
+from .epc import EnclavePageCache, EpcAllocation
+from .perf import SgxPerfModel, StartupBreakdown
 
 __all__ = [
     "AesmService",

@@ -10,8 +10,8 @@ loop instead of wall-clock daemons.
 
 from .engine import EventHandle, SimulationEngine
 from .events import EventKind, EventLog, LoggedEvent
-from .metrics import ReplayMetrics, QueueSample
-from .runner import ReplayConfig, ReplayResult, replay_trace, make_scheduler
+from .metrics import QueueSample, ReplayMetrics
+from .runner import ReplayConfig, ReplayResult, make_scheduler, replay_trace
 
 __all__ = [
     "EventHandle",

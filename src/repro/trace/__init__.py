@@ -15,11 +15,11 @@ these marginals at the scaled size, which is what the substitution
 preserves.
 """
 
-from .schema import JobRecord, Trace
 from .borg import BorgTraceGenerator, synthetic_scaled_trace
-from .scaling import sample_stride, slice_window, renumber_from_zero
-from .stats import empirical_cdf, cdf_at
 from .loader import load_borg_csv
+from .scaling import renumber_from_zero, sample_stride, slice_window
+from .schema import JobRecord, Trace
+from .stats import cdf_at, empirical_cdf
 
 __all__ = [
     "BorgTraceGenerator",

@@ -202,7 +202,7 @@ class BorgTraceGenerator:
             t += step_seconds
         return series
 
-    # -- distribution internals ------------------------------------------------
+    # -- distribution internals -------------------------------------------
 
     def _durations(self, rng: np.random.Generator, n: int) -> np.ndarray:
         a, b = _DURATION_BETA

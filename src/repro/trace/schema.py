@@ -10,7 +10,7 @@ absolute values — and is mapped to bytes only at materialisation time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, List
 
 from ..errors import TraceError

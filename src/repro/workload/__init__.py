@@ -8,14 +8,14 @@ models those stressors; :mod:`repro.workload.malicious` builds the
 under-declaring containers of Section VI-F.
 """
 
+from .hybrid import HybridStressor, hybrid_pod_spec
+from .malicious import MaliciousConfig, malicious_submissions
 from .stress import (
     EpcStressor,
     SubmissionPlan,
     VmStressor,
     materialize_trace,
 )
-from .malicious import MaliciousConfig, malicious_submissions
-from .hybrid import HybridStressor, hybrid_pod_spec
 
 __all__ = [
     "EpcStressor",

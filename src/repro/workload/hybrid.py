@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..cluster.resources import ResourceVector
 from ..errors import TraceError
 from ..orchestrator.api import (
     DEFAULT_SCHEDULER,
@@ -26,7 +27,6 @@ from ..orchestrator.api import (
     ResourceRequirements,
     WorkloadProfile,
 )
-from ..cluster.resources import ResourceVector
 from ..units import pages as bytes_to_pages
 
 

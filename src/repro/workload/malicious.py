@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from ..cluster.resources import ResourceVector
 from ..cluster.topology import Cluster
 from ..errors import TraceError
 from ..orchestrator.api import (
@@ -24,7 +25,6 @@ from ..orchestrator.api import (
     ResourceRequirements,
     WorkloadProfile,
 )
-from ..cluster.resources import ResourceVector
 from .stress import SubmissionPlan
 
 

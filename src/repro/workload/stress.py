@@ -17,10 +17,11 @@ percentage 0..100 % that Fig. 8 sweeps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
+from ..cluster.resources import ResourceVector
 from ..constants import (
     SGX_MEMORY_MULTIPLIER_BYTES,
     STANDARD_MEMORY_MULTIPLIER_BYTES,
@@ -32,7 +33,6 @@ from ..orchestrator.api import (
     ResourceRequirements,
     WorkloadProfile,
 )
-from ..cluster.resources import ResourceVector
 from ..trace.schema import Trace
 from ..units import pages as bytes_to_pages
 

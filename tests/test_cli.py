@@ -1,5 +1,8 @@
 """Experiment CLI."""
 
+import subprocess
+import sys
+
 import pytest
 
 from repro.cli import _FIGURES, build_parser, main
@@ -22,6 +25,72 @@ class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig99"])
+
+
+class TestFailurePaths:
+    """Exit codes of every way the CLI can be invoked wrongly.
+
+    Usage errors must exit 2 (argparse convention), never 0 and never
+    an unhandled traceback — the console script forwards ``main``'s
+    return value / ``SystemExit`` straight to the shell.
+    """
+
+    def test_no_command_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_unknown_command_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig99"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+
+    def test_non_integer_seed_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig7", "--trace-seed", "banana"])
+        assert excinfo.value.code == 2
+        assert "invalid int value" in capsys.readouterr().err
+
+    def test_unknown_flag_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig7", "--not-a-flag"])
+        assert excinfo.value.code == 2
+        assert "unrecognized arguments" in capsys.readouterr().err
+
+    def test_seed_flag_without_value_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig7", "--trace-seed"])
+        assert excinfo.value.code == 2
+        assert "expected one argument" in capsys.readouterr().err
+
+    def test_help_exits_0(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert "Regenerate the evaluation figures" in (
+            capsys.readouterr().out
+        )
+
+    def test_module_entry_point_propagates_usage_error(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "fig99"],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 2
+        assert "invalid choice" in completed.stderr
+
+    def test_module_entry_point_list(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0
+        assert "fig7" in completed.stdout
 
 
 class TestExecution:

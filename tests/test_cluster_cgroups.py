@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster.cgroups import CgroupHierarchy, QOS_CLASSES
+from repro.cluster.cgroups import QOS_CLASSES, CgroupHierarchy
 from repro.errors import CgroupError
 
 

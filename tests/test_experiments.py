@@ -3,13 +3,13 @@
 import pytest
 
 from repro.experiments.common import format_table
+from repro.experiments.fig11_limits import format_fig11, run_fig11
 from repro.experiments.fig3_memory_cdf import format_fig3, run_fig3
 from repro.experiments.fig4_duration_cdf import format_fig4, run_fig4
 from repro.experiments.fig5_concurrency import format_fig5, run_fig5
 from repro.experiments.fig6_startup import format_fig6, run_fig6
 from repro.experiments.fig7_epc_sizes import format_fig7, run_fig7
 from repro.experiments.fig8_waiting_cdf import format_fig8, run_fig8
-from repro.experiments.fig11_limits import format_fig11, run_fig11
 from repro.trace.borg import BorgTraceGenerator
 
 

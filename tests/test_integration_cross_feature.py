@@ -5,7 +5,6 @@ orchestrator instance — the kind of interleaving a real deployment
 produces.
 """
 
-import pytest
 
 from repro.cluster.node import Node, NodeSpec
 from repro.cluster.topology import paper_cluster

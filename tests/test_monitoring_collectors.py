@@ -3,8 +3,8 @@
 import pytest
 
 from repro.monitoring.heapster import (
-    Heapster,
     MEASUREMENT_MEMORY,
+    Heapster,
     PodUsage,
 )
 from repro.monitoring.probe import (

@@ -6,7 +6,6 @@ from repro.monitoring.probe import MEASUREMENT_EPC
 from repro.orchestrator.api import PodPhase, make_pod_spec
 from repro.orchestrator.controller import PROBE_DAEMONSET, Orchestrator
 from repro.scheduler.binpack import BinpackScheduler
-from repro.scheduler.spread import SpreadScheduler
 from repro.units import gib, mib, pages
 
 

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.cluster.node import Node, NodeSpec
+from repro.cluster.topology import paper_cluster
+from repro.errors import OrchestrationError
 from repro.orchestrator.api import make_pod_spec
 from repro.orchestrator.controller import Orchestrator
 from repro.orchestrator.images import (
@@ -14,9 +16,7 @@ from repro.orchestrator.images import (
 )
 from repro.orchestrator.kubelet import Kubelet
 from repro.orchestrator.pod import Pod
-from repro.cluster.topology import paper_cluster
 from repro.scheduler.binpack import BinpackScheduler
-from repro.errors import OrchestrationError
 from repro.units import mib
 
 

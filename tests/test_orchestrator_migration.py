@@ -2,10 +2,10 @@
 
 import pytest
 
+from repro.cluster.topology import paper_cluster
 from repro.errors import OrchestrationError
 from repro.orchestrator.api import PodPhase, make_pod_spec
 from repro.orchestrator.controller import Orchestrator
-from repro.cluster.topology import paper_cluster
 from repro.scheduler.binpack import BinpackScheduler
 from repro.units import mib, pages
 

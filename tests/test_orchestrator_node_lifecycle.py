@@ -115,7 +115,9 @@ class TestLateJoinPolicyInheritance:
         orchestrator = Orchestrator(
             paper_cluster(), enforce_memory_limits=True
         )
-        late = orchestrator.add_node(Node(NodeSpec.standard("worker-9")), now=0.0)
+        late = orchestrator.add_node(
+            Node(NodeSpec.standard("worker-9")), now=0.0
+        )
         bootstrap = orchestrator.kubelets["worker-0"]
         assert late.enforce_memory_limits == bootstrap.enforce_memory_limits
         assert late.perf_model is bootstrap.perf_model

@@ -2,11 +2,11 @@
 
 import pytest
 
+from repro.cluster.resources import ResourceVector
 from repro.errors import OrchestrationError
 from repro.orchestrator.api import PodSpec, ResourceRequirements
 from repro.orchestrator.pod import Pod
 from repro.orchestrator.queue import PendingQueue
-from repro.cluster.resources import ResourceVector
 from repro.units import gib
 
 

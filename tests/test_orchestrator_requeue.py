@@ -4,10 +4,9 @@ import pytest
 
 from repro.cluster.topology import paper_cluster
 from repro.errors import OrchestrationError
-from repro.orchestrator.api import PodPhase, make_pod_spec
+from repro.orchestrator.api import PodPhase, PodSpec, make_pod_spec
 from repro.orchestrator.controller import Orchestrator
 from repro.orchestrator.pod import Pod
-from repro.orchestrator.api import PodSpec
 from repro.scheduler.binpack import BinpackScheduler
 from repro.units import mib
 

@@ -1,6 +1,5 @@
 """Property-based tests: EPC accounting invariants."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (

@@ -1,6 +1,5 @@
 """EPC contention rebalancer: detection, victim choice, relief."""
 
-import pytest
 
 from repro.cluster.topology import paper_cluster
 from repro.errors import EpcExhaustedError

@@ -25,7 +25,6 @@ from repro.orchestrator.controller import Orchestrator
 from repro.scheduler.base import ClusterStateService, NodeView
 from repro.scheduler.binpack import BinpackScheduler
 from repro.simulation.runner import ReplayConfig, replay_trace
-from repro.trace.borg import synthetic_scaled_trace
 from repro.units import gib, mib
 
 

@@ -2,15 +2,15 @@
 
 import pytest
 
+from repro.errors import SgxError
 from repro.sgx.aesm import AesmService
 from repro.sgx.enclave import Enclave
 from repro.sgx.epc import EnclavePageCache
 from repro.sgx.sealing import (
-    SealPolicy,
     SealingError,
     SealingService,
+    SealPolicy,
 )
-from repro.errors import SgxError
 from repro.units import mib
 
 SECRET = b"database encryption key material"

@@ -135,7 +135,9 @@ class TestRunUntil:
 class TestPendingCounter:
     def test_counter_tracks_schedule_fire_cancel(self):
         engine = SimulationEngine()
-        handles = [engine.schedule_at(float(i), lambda: None) for i in range(5)]
+        handles = [
+            engine.schedule_at(float(i), lambda: None) for i in range(5)
+        ]
         assert engine.pending_events == 5
         handles[0].cancel()
         assert engine.pending_events == 4

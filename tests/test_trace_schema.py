@@ -54,7 +54,10 @@ class TestTrace:
         assert trace[0].job_id == 0
 
     def test_span(self):
-        trace = Trace([job(1, submit=0.0, duration=10.0), job(2, submit=5.0, duration=20.0)])
+        trace = Trace([
+            job(1, submit=0.0, duration=10.0),
+            job(2, submit=5.0, duration=20.0),
+        ])
         assert trace.span_seconds == 25.0
 
     def test_empty_span(self):

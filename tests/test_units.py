@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import ReproError
 from repro.units import (
     EPC_PAGE_BYTES,
     bytes_to_gib,
