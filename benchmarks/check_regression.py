@@ -5,7 +5,14 @@ metric against the matching row of the committed ``BENCH_*.json``:
 
 * ``state_cache``  — ``speedup``  (cached vs full-scan snapshot);
 * ``event_sched``  — ``pass_reduction`` (passes skipped by triggers);
-* ``sched_scale``  — ``speedup``  (indexed vs full-scan placement).
+* ``sched_scale``  — ``speedup``  (indexed vs full-scan placement);
+* ``api_sweep``    — ``completed`` (scenario-layer sweep outcomes),
+  with the ``parallel_identical`` pool-vs-serial equivalence flag.
+
+Baselines come in two shapes, both accepted: the legacy
+``{"benchmark": ..., "results": [...]}`` reports and the scenario
+layer's structured sweep JSON (``{"schema": "repro.sweep/1", ...}``,
+as emitted by ``repro sweep --json`` and ``SweepResult.to_json``).
 
 A fresh metric may fall below its baseline by at most the tolerance
 band (relative, default 50% — CI machines are noisy; the gate is after
@@ -53,7 +60,30 @@ GATES = {
         ("scheduler", "pods", "nodes"),
         "identical",
     ),
+    "api_sweep": (
+        "BENCH_api_sweep.json",
+        "completed",
+        ("scheduler", "sgx_fraction"),
+        "parallel_identical",
+    ),
 }
+
+
+def report_rows(report: dict) -> list:
+    """The result rows of *report*, whichever shape it is in.
+
+    Accepts the legacy bench shape (``benchmark`` + ``results``) and
+    the scenario layer's sweep JSON (``schema: repro.sweep/...``).
+    """
+    schema = report.get("schema", "")
+    if schema and not schema.startswith("repro.sweep/"):
+        raise ValueError(f"unsupported report schema {schema!r}")
+    if "results" not in report:
+        raise ValueError(
+            "report has no 'results'; expected a BENCH_*.json report "
+            "or a repro.sweep/1 document"
+        )
+    return report["results"]
 
 
 def fresh_reports(names, quick: bool) -> dict:
@@ -71,6 +101,21 @@ def fresh_reports(names, quick: bool) -> dict:
         elif name == "event_sched":
             reports[name] = run_bench.run_event_sched(
                 sizes=(250,) if quick else (250, 1000, 2000)
+            )
+        elif name == "api_sweep":
+            # Quick mode halves the grid and pool but keeps the trace
+            # size: the gated metric (completed jobs) must stay
+            # comparable against the committed baseline rows.
+            reports[name] = run_bench.run_api_sweep(
+                workers=2 if quick else run_bench.API_SWEEP_WORKERS,
+                grid=(
+                    {
+                        "scheduler": ("binpack",),
+                        "sgx_fraction": (0.0, 0.5),
+                    }
+                    if quick
+                    else None
+                ),
             )
         else:
             # Quick mode still runs the headline 2000x200 binpack point
@@ -93,10 +138,11 @@ def compare(name: str, fresh: dict, tolerance: float) -> list:
     baseline_path = REPO_ROOT / baseline_file
     baseline = json.loads(baseline_path.read_text())
     baseline_rows = {
-        tuple(row[k] for k in keys): row for row in baseline["results"]
+        tuple(row[k] for k in keys): row
+        for row in report_rows(baseline)
     }
     failures = []
-    for row in fresh["results"]:
+    for row in report_rows(fresh):
         key = tuple(row[k] for k in keys)
         label = f"{name}[{', '.join(map(str, key))}]"
         if flag is not None and row[flag] is not True:

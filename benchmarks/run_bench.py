@@ -1,7 +1,8 @@
 """Benchmark runner: emits ``BENCH_state_cache.json``,
-``BENCH_event_sched.json`` and ``BENCH_sched_scale.json``.
+``BENCH_event_sched.json``, ``BENCH_sched_scale.json`` and
+``BENCH_api_sweep.json``.
 
-Three sweeps over the scheduling hot path:
+Four sweeps over the scheduling hot path:
 
 * **state_cache** — the scheduler's per-pass snapshot latency (the two
   Listing-1 sliding-window queries behind
@@ -17,7 +18,11 @@ Three sweeps over the scheduling hot path:
   batch scheduled against a large cluster with the per-pod full scan
   versus the incremental node-candidate index
   (``Scheduler(indexed=True)``), with an outcome-identity check, at up
-  to 5000 pods over 200 nodes.
+  to 5000 pods over 200 nodes;
+* **api_sweep** — a scenario-layer sweep (``repro.api.Sweep``) run
+  serially and over a 4-worker process pool, with a per-scenario
+  bit-for-bit identity check, emitted in the structured
+  ``repro.sweep/1`` JSON shape.
 
 Run from the repo root::
 
@@ -34,6 +39,7 @@ sweeps against the committed JSON baselines as a regression gate.
 from __future__ import annotations
 
 import json
+import os
 import random
 import statistics
 import sys
@@ -42,6 +48,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.api import Scenario, Sweep, rows_to_json  # noqa: E402
 from repro.cluster.resources import ResourceVector  # noqa: E402
 from repro.constants import (  # noqa: E402
     EPC_TOTAL_BYTES,
@@ -56,11 +63,6 @@ from repro.orchestrator.pod import Pod  # noqa: E402
 from repro.scheduler.base import (  # noqa: E402
     ClusterStateService,
     NodeView,
-)
-from repro.simulation.runner import (  # noqa: E402
-    ReplayConfig,
-    make_scheduler,
-    replay_trace,
 )
 from repro.trace.borg import synthetic_scaled_trace  # noqa: E402
 from repro.units import gib, mib, pages  # noqa: E402
@@ -151,22 +153,6 @@ def run(sizes=(250, 1000, 2000), repeats=9) -> dict:
     }
 
 
-def pod_signature(result):
-    """Every pod's full lifecycle, for bit-for-bit comparison."""
-    return [
-        (
-            pod.name,
-            pod.phase.value,
-            pod.submitted_at,
-            pod.bound_at,
-            pod.started_at,
-            pod.finished_at,
-            pod.node_name,
-        )
-        for pod in result.metrics.pods
-    ]
-
-
 #: Reconcile interval of the sweep: a production control plane reacts
 #: within ~a second, not the paper testbed's relaxed default — and the
 #: tighter the loop, the more of its wake-ups find nothing changed,
@@ -174,15 +160,15 @@ def pod_signature(result):
 EVENT_SCHED_PERIOD_SECONDS = 1.0
 
 
-def event_sched_config(n_pods: int, event_driven: bool) -> ReplayConfig:
-    """One replay configuration of the periodic-vs-event sweep.
+def event_sched_config(n_pods: int, event_driven: bool) -> Scenario:
+    """One scenario of the periodic-vs-event sweep (sans trace).
 
     The cluster scales with the workload (roughly one worker pair per
     125 pods) so the sweep measures scheduling-loop cost, not a
     5-node testbed grinding through a month-long backlog.
     """
     workers = max(2, n_pods // 125)
-    return ReplayConfig(
+    return Scenario(
         scheduler="binpack",
         sgx_fraction=SGX_FRACTION,
         seed=1,
@@ -201,12 +187,13 @@ def run_event_sched(sizes=(250, 1000, 2000)) -> dict:
             seed=7, n_jobs=n_pods, overallocators=n_pods // 10
         )
         start = time.perf_counter()
-        periodic = replay_trace(trace, event_sched_config(n_pods, False))
+        periodic = event_sched_config(n_pods, False).with_(
+            trace=trace
+        ).run()
         periodic_s = time.perf_counter() - start
         start = time.perf_counter()
-        event = replay_trace(trace, event_sched_config(n_pods, True))
+        event = event_sched_config(n_pods, True).with_(trace=trace).run()
         event_s = time.perf_counter() - start
-        trigger = event.orchestrator.trigger
         results.append(
             {
                 "pods": n_pods,
@@ -221,11 +208,11 @@ def run_event_sched(sizes=(250, 1000, 2000)) -> dict:
                 "periodic_wall_s": round(periodic_s, 3),
                 "event_wall_s": round(event_s, 3),
                 "wall_speedup": round(periodic_s / event_s, 2),
-                "events_published": trigger.events_published,
-                "events_coalesced": trigger.events_coalesced,
+                "events_published": event.events_published,
+                "events_coalesced": event.events_coalesced,
                 "makespan_s": round(periodic.metrics.makespan_seconds, 3),
                 "bit_for_bit_identical": (
-                    pod_signature(periodic) == pod_signature(event)
+                    periodic.pod_signature() == event.pod_signature()
                     and periodic.metrics.makespan_seconds
                     == event.metrics.makespan_seconds
                 ),
@@ -318,11 +305,9 @@ def _outcome_signature(outcome):
 
 def time_sched_pass(scheduler_name, indexed, views, pods, repeats):
     """Median seconds of one full batch pass, plus its outcome."""
-    scheduler = make_scheduler(
-        ReplayConfig(
-            scheduler=scheduler_name, indexed_scheduling=indexed
-        )
-    )
+    scheduler = Scenario(
+        scheduler=scheduler_name, indexed_scheduling=indexed
+    ).build_scheduler()
     timings = []
     outcome = None
     for _ in range(repeats):
@@ -380,6 +365,70 @@ def run_sched_scale(points=SCHED_SCALE_POINTS) -> dict:
     }
 
 
+#: The api_sweep configuration: a 2x2 scheduler x SGX-share grid over
+#: a scaled trace, executed serially and with a 4-worker pool.  The
+#: trace is sized so each replay takes ~1-2 s: long enough that the
+#: pool amortises its startup, short enough for the CI quick gate.
+API_SWEEP_TRACE_JOBS = 1000
+API_SWEEP_WORKERS = 4
+API_SWEEP_GRID = {
+    "scheduler": ("binpack", "spread"),
+    "sgx_fraction": (0.0, 0.5),
+}
+
+
+def run_api_sweep(
+    workers=API_SWEEP_WORKERS,
+    trace_jobs=API_SWEEP_TRACE_JOBS,
+    grid=None,
+) -> dict:
+    """Serial vs parallel execution of one scenario sweep.
+
+    Emits the scenario layer's structured sweep JSON (schema
+    ``repro.sweep/1``) augmented with serial/parallel wall clock and a
+    per-row ``parallel_identical`` flag: every scenario's pool-worker
+    result must be bit-for-bit identical to the serial one.
+    """
+    cluster_workers = max(2, trace_jobs // 125)
+    base = Scenario(
+        trace_seed=7,
+        trace_jobs=trace_jobs,
+        trace_overallocators=max(1, trace_jobs // 10),
+        seed=1,
+        standard_workers=cluster_workers,
+        sgx_workers=cluster_workers,
+    )
+    sweep = Sweep(base, grid=grid or API_SWEEP_GRID, name="api_sweep")
+    start = time.perf_counter()
+    serial = sweep.run(workers=1)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = sweep.run(workers=workers)
+    parallel_s = time.perf_counter() - start
+    rows = []
+    for serial_run, parallel_run in zip(serial, parallel):
+        row = serial_run.to_row()
+        row["parallel_identical"] = (
+            serial_run.signature() == parallel_run.signature()
+        )
+        rows.append(row)
+    # One formatter owns the sweep-JSON envelope; wall clock is
+    # informational (the speedup tracks the host's actual parallelism,
+    # cpu_count), while the *gated* facts are the deterministic
+    # outcomes and the identity flag.
+    return json.loads(
+        rows_to_json(
+            rows,
+            benchmark="api_sweep",
+            workers=workers,
+            cpu_count=os.cpu_count(),
+            serial_wall_s=round(serial_s, 3),
+            parallel_wall_s=round(parallel_s, 3),
+            parallel_speedup=round(serial_s / parallel_s, 2),
+        )
+    )
+
+
 def main() -> None:
     report = run()
     out_path = Path(__file__).resolve().parent.parent / (
@@ -424,6 +473,24 @@ def main() -> None:
             f"identical={row['identical']}"
         )
     print(f"wrote {scale_path}")
+
+    api_report = run_api_sweep()
+    api_path = Path(__file__).resolve().parent.parent / (
+        "BENCH_api_sweep.json"
+    )
+    api_path.write_text(json.dumps(api_report, indent=2) + "\n")
+    identical = all(
+        row["parallel_identical"] for row in api_report["results"]
+    )
+    print(
+        f"api_sweep: {api_report['count']} scenarios  "
+        f"serial {api_report['serial_wall_s']:.2f} s  "
+        f"parallel({api_report['workers']}) "
+        f"{api_report['parallel_wall_s']:.2f} s  "
+        f"speedup {api_report['parallel_speedup']:.2f}x  "
+        f"identical={identical}"
+    )
+    print(f"wrote {api_path}")
 
 
 if __name__ == "__main__":

@@ -101,3 +101,88 @@ class TestCompare:
             "sched_scale", fresh, tolerance=0.5
         )
         assert failures == []
+
+
+def write_sweep_baseline(tmp_path, completed, identical=True):
+    """A baseline in the scenario layer's sweep-JSON shape."""
+    (tmp_path / "BENCH_api_sweep.json").write_text(
+        json.dumps(
+            {
+                "schema": "repro.sweep/1",
+                "benchmark": "api_sweep",
+                "workers": 4,
+                "count": 1,
+                "results": [
+                    {
+                        "scenario": "binpack/stress/sgx=0.5/seed=1",
+                        "scheduler": "binpack",
+                        "sgx_fraction": 0.5,
+                        "completed": completed,
+                        "parallel_identical": identical,
+                    }
+                ],
+            }
+        )
+    )
+
+
+def fresh_sweep_row(completed, identical=True):
+    return {
+        "schema": "repro.sweep/1",
+        "count": 1,
+        "results": [
+            {
+                "scheduler": "binpack",
+                "sgx_fraction": 0.5,
+                "completed": completed,
+                "parallel_identical": identical,
+            }
+        ],
+    }
+
+
+class TestSweepJsonShape:
+    """The gate reads the scenario layer's sweep JSON transparently."""
+
+    def test_rows_from_either_shape(self):
+        legacy = {"benchmark": "x", "results": [{"a": 1}]}
+        sweep = {"schema": "repro.sweep/1", "results": [{"a": 1}]}
+        assert check_regression.report_rows(legacy) == [{"a": 1}]
+        assert check_regression.report_rows(sweep) == [{"a": 1}]
+
+    def test_unsupported_shape_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            check_regression.report_rows(
+                {"schema": "something/9", "results": []}
+            )
+        with pytest.raises(ValueError, match="results"):
+            check_regression.report_rows({"benchmark": "x"})
+
+    def test_sweep_baseline_within_tolerance(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(check_regression, "REPO_ROOT", tmp_path)
+        write_sweep_baseline(tmp_path, completed=100)
+        failures = check_regression.compare(
+            "api_sweep", fresh_sweep_row(100), tolerance=0.5
+        )
+        assert failures == []
+
+    def test_sweep_regression_detected(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(check_regression, "REPO_ROOT", tmp_path)
+        write_sweep_baseline(tmp_path, completed=100)
+        failures = check_regression.compare(
+            "api_sweep", fresh_sweep_row(10), tolerance=0.5
+        )
+        assert len(failures) == 1
+        assert "completed" in failures[0]
+
+    def test_broken_parallel_equivalence_fails(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(check_regression, "REPO_ROOT", tmp_path)
+        write_sweep_baseline(tmp_path, completed=100)
+        failures = check_regression.compare(
+            "api_sweep",
+            fresh_sweep_row(100, identical=False),
+            tolerance=0.5,
+        )
+        assert failures and "parallel_identical" in failures[0]

@@ -11,7 +11,7 @@ Run:  python examples/borg_replay.py [--jobs N] [--sgx-share PCT ...]
 
 import argparse
 
-from repro import ReplayConfig, replay_trace, synthetic_scaled_trace
+from repro import Scenario, Sweep, synthetic_scaled_trace
 from repro.trace.stats import cdf_at, percentile
 from repro.units import fmt_duration
 
@@ -44,11 +44,12 @@ def main() -> None:
         f"useful duration {trace.total_duration_seconds / 3600:.1f} h"
     )
 
-    for share in args.sgx_share:
-        config = ReplayConfig(
-            scheduler="binpack", sgx_fraction=share / 100.0, seed=1
-        )
-        result = replay_trace(trace, config)
+    sweep = Sweep(
+        Scenario(scheduler="binpack", seed=1, trace=trace),
+        grid={"sgx_fraction": [s / 100.0 for s in args.sgx_share]},
+        name="borg-replay",
+    )
+    for share, result in zip(args.sgx_share, sweep.run()):
         metrics = result.metrics
         waits = metrics.waiting_times()
         print(f"\n=== {share:.0f}% SGX jobs (binpack) ===")

@@ -10,7 +10,7 @@ argument for why SGX 2's relaxed limits matter to cloud providers.
 Run:  python examples/epc_sizing.py
 """
 
-from repro import ReplayConfig, replay_trace, synthetic_scaled_trace
+from repro import Scenario, Sweep, synthetic_scaled_trace
 from repro.units import fmt_duration, mib
 
 
@@ -37,16 +37,16 @@ def main() -> None:
         f"{'EPC':>7s} {'makespan':>10s} {'peak queue':>12s} "
         f"{'done':>5s} {'rejected':>8s}  pending-EPC curve"
     )
-    for size_mib in (32, 64, 128, 256):
-        result = replay_trace(
-            trace,
-            ReplayConfig(
-                scheduler="binpack",
-                sgx_fraction=1.0,
-                seed=1,
-                epc_total_bytes=mib(size_mib),
-            ),
-        )
+    sizes_mib = (32, 64, 128, 256)
+    sweep = Sweep(
+        Scenario(
+            scheduler="binpack", sgx_fraction=1.0, seed=1, trace=trace
+        ),
+        grid={"epc_total_bytes": [mib(s) for s in sizes_mib]},
+        name="epc-sizing",
+    )
+    # The four replays are independent scenarios; fan them out.
+    for size_mib, result in zip(sizes_mib, sweep.run(workers=4)):
         metrics = result.metrics
         curve = [s.pending_epc_mib for s in metrics.queue_series]
         print(

@@ -17,8 +17,7 @@ Run:  python examples/malicious_tenant.py
 from repro import (
     MaliciousConfig,
     PodPhase,
-    ReplayConfig,
-    replay_trace,
+    Scenario,
     synthetic_scaled_trace,
 )
 
@@ -50,17 +49,16 @@ def main() -> None:
         malicious = (
             MaliciousConfig(epc_occupancy=occupancy) if occupancy else None
         )
-        result = replay_trace(
-            trace,
-            ReplayConfig(
-                scheduler="binpack",
-                sgx_fraction=0.5,
-                seed=1,
-                enforce_epc_limits=enforce,
-                epc_allow_overcommit=not enforce,
-                malicious=malicious,
-            ),
-        )
+        result = Scenario(
+            name=label,
+            scheduler="binpack",
+            sgx_fraction=0.5,
+            seed=1,
+            trace=trace,
+            enforce_epc_limits=enforce,
+            epc_allow_overcommit=not enforce,
+            malicious=malicious,
+        ).run()
         killed = result.metrics.pods_in_phase(PodPhase.FAILED)
         print(
             f"{label:38s} {honest_mean_wait(result):15.1f}s "

@@ -24,13 +24,16 @@ Quick start::
     orchestrator.scheduling_pass(BinpackScheduler(), now=1.0)
     print(pod.node_name)  # 'sgx-worker-0'
 
-or replay the paper's whole evaluation workload::
+or replay the paper's whole evaluation workload through the scenario
+layer (``ReplayConfig``/``replay_trace`` remain as a deprecated shim)::
 
-    from repro import ReplayConfig, replay_trace, synthetic_scaled_trace
+    from repro import Scenario, Sweep
 
-    trace = synthetic_scaled_trace(seed=42)
-    result = replay_trace(trace, ReplayConfig(sgx_fraction=0.5))
+    result = Scenario(sgx_fraction=0.5).run()
     print(result.metrics.mean_waiting_seconds())
+
+    sweep = Sweep(Scenario(), grid={"sgx_fraction": (0.0, 0.5, 1.0)})
+    print(sweep.run(workers=3).to_table())
 """
 
 from .cluster.node import Node, NodeSpec
@@ -53,7 +56,19 @@ from .trace.borg import BorgTraceGenerator, synthetic_scaled_trace
 from .trace.loader import load_borg_csv
 from .workload.malicious import MaliciousConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# The scenario layer sits on top of everything above; importing it
+# after the core packages keeps the orchestrator <-> scheduler import
+# cycle resolving in the order the control plane expects.
+from .api import (  # noqa: E402
+    RunResult,
+    Scenario,
+    Sweep,
+    SweepResult,
+    register_scheduler,
+    register_workload,
+)
 
 __all__ = [
     "BinpackScheduler",
@@ -71,12 +86,18 @@ __all__ = [
     "ReplayResult",
     "ResourceRequirements",
     "ResourceVector",
+    "RunResult",
+    "Scenario",
     "SpreadScheduler",
+    "Sweep",
+    "SweepResult",
     "WorkloadProfile",
     "__version__",
     "load_borg_csv",
     "make_pod_spec",
     "paper_cluster",
+    "register_scheduler",
+    "register_workload",
     "replay_trace",
     "synthetic_scaled_trace",
     "uniform_cluster",

@@ -1,0 +1,70 @@
+"""The scenario layer: the one way to run experiments.
+
+Three pieces compose:
+
+* **registries** (:mod:`repro.registry`, re-exported here) — scheduling
+  strategies and workload materialisers plug in by name with a
+  decorator and become addressable from scenarios and the CLI;
+* :class:`Scenario` — a validated, immutable description of one
+  experiment with ``.run() -> RunResult``;
+* :class:`Sweep` — a declared grid/list of scenario variations,
+  executed serially or over a ``multiprocessing`` pool with results
+  proven bit-for-bit identical to serial execution.
+
+Quickstart::
+
+    from repro.api import Scenario, Sweep
+
+    # one run
+    print(Scenario(scheduler="spread", sgx_fraction=0.5).run().to_table())
+
+    # a parallel sweep over a grid, dumped as JSON
+    sweep = Sweep(
+        Scenario(trace_jobs=200),
+        grid={"scheduler": ("binpack", "spread"),
+              "sgx_fraction": (0.0, 0.5, 1.0)},
+    )
+    print(sweep.run(workers=4).to_json())
+
+The legacy ``ReplayConfig``/``replay_trace`` pair remains as a thin
+deprecated shim over the same engine.
+"""
+
+from ..registry import (
+    SCHEDULERS,
+    WORKLOADS,
+    Registry,
+    register_scheduler,
+    register_workload,
+    scheduler_names,
+    workload_names,
+)
+from .format import (
+    RUN_SCHEMA,
+    SWEEP_SCHEMA,
+    format_table,
+    rows_to_json,
+    rows_to_table,
+)
+from .scenario import RunResult, Scenario
+from .sweep import Sweep, SweepResult, expand_grid
+
+__all__ = [
+    "RUN_SCHEMA",
+    "SCHEDULERS",
+    "SWEEP_SCHEMA",
+    "Registry",
+    "RunResult",
+    "Scenario",
+    "Sweep",
+    "SweepResult",
+    "WORKLOADS",
+    "expand_grid",
+    "format_table",
+    "register_scheduler",
+    "register_workload",
+    "rows_to_json",
+    "rows_to_table",
+    "scheduler_names",
+    "workload_names",
+]

@@ -1,0 +1,70 @@
+"""The one output formatter behind tables, bench JSON and the CLI.
+
+Every consumer of experiment results — the figure drivers' tables, the
+benchmark harness' JSON reports and the ``repro run``/``repro sweep``
+CLI — renders the same row dictionaries through the helpers here, so a
+new metric added to :meth:`repro.api.RunResult.to_row` shows up
+everywhere at once.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Mapping, Sequence
+
+#: Schema tags stamped into JSON payloads so downstream tooling (the
+#: bench regression gate, notebooks) can detect the shape.
+RUN_SCHEMA = "repro.run/1"
+SWEEP_SCHEMA = "repro.sweep/1"
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render rows as a fixed-width text table (the bench output format)."""
+    materialized: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        materialized.append(
+            [
+                f"{cell:.2f}" if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(line[col]) for line in materialized)
+        for col in range(len(headers))
+    ]
+    lines = []
+    for index, line in enumerate(materialized):
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(line, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def rows_to_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """A text table from row dictionaries (first row fixes the columns)."""
+    if not rows:
+        return "(no results)"
+    headers = list(rows[0].keys())
+    return format_table(
+        headers, [[row.get(h, "") for h in headers] for row in rows]
+    )
+
+
+def rows_to_json(
+    rows: Sequence[Mapping[str, object]],
+    schema: str = SWEEP_SCHEMA,
+    indent: int = 2,
+    **extra: object,
+) -> str:
+    """The structured JSON document wrapping *rows*.
+
+    ``extra`` lands next to ``schema``/``count`` — the bench harness
+    uses it for sweep-level facts such as equivalence flags.
+    """
+    payload = {"schema": schema, **extra, "count": len(rows)}
+    payload["results"] = [dict(row) for row in rows]
+    return json.dumps(payload, indent=indent, sort_keys=False)

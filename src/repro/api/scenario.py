@@ -1,0 +1,343 @@
+"""``Scenario``: one validated, immutable experiment description.
+
+The paper's evaluation is one sentence — "replay one scaled Borg trace
+under many configurations" — and a :class:`Scenario` is that sentence
+as a value: cluster shape, trace source and seed, workload, scheduler
+name plus options, and the feature toggles the later PRs added
+(``event_driven``, ``indexed_scheduling``, ``use_state_cache``).  It
+validates at construction (unknown scheduler/workload names die here
+with the list of registered names), is immutable and picklable (so
+sweeps can ship it to worker processes), and ``.run()`` executes it on
+the same deterministic engine the legacy
+:func:`repro.simulation.runner.replay_trace` shim drives::
+
+    from repro.api import Scenario
+
+    result = Scenario(scheduler="spread", sgx_fraction=0.5).run()
+    print(result.to_row()["mean_wait_s"])
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..constants import (
+    DEFAULT_TRACE_SEED,
+    EPC_TOTAL_BYTES,
+    METRICS_PUSH_PERIOD_SECONDS,
+    SCHEDULER_PERIOD_SECONDS,
+    TRACE_OVERALLOCATOR_COUNT,
+    TRACE_SCALED_JOB_COUNT,
+)
+from ..errors import SimulationError
+from ..registry import WORKLOADS
+from ..scheduler.base import Scheduler
+from ..simulation.metrics import ReplayMetrics
+from ..simulation.runner import (
+    OptionItems,
+    ReplayConfig,
+    freeze_options,
+    make_scheduler,
+    run_replay,
+)
+from ..trace.borg import synthetic_scaled_trace
+from ..trace.schema import Trace
+from ..workload.malicious import MaliciousConfig
+from .format import RUN_SCHEMA, format_table
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One experiment: what to replay, on what cluster, with which knobs.
+
+    Defaults reproduce the paper's testbed (2 standard + 2 SGX
+    workers, 128 MiB PRM, periodic full-scan scheduling) replaying the
+    default scaled trace with the binpack strategy and no SGX jobs.
+    """
+
+    #: Optional display name; shows up as the row label in tables.
+    name: str = ""
+
+    # -- scheduler ---------------------------------------------------------
+    #: Any name registered in :data:`repro.registry.SCHEDULERS`.
+    scheduler: str = "binpack"
+    #: Extra factory keywords for plugin strategies (mapping accepted,
+    #: stored as sorted items).
+    scheduler_options: OptionItems = ()
+
+    # -- workload ----------------------------------------------------------
+    #: Any name registered in :data:`repro.registry.WORKLOADS`.
+    workload: str = "stress"
+    workload_options: OptionItems = ()
+    #: Share of trace jobs designated SGX-enabled (Fig. 8's sweep).
+    sgx_fraction: float = 0.0
+    #: Per-run randomness (SGX designation etc.).
+    seed: int = 0
+    #: Side deployment of Section VI-F squatters next to the workload.
+    malicious: Optional[MaliciousConfig] = None
+
+    # -- trace source ------------------------------------------------------
+    #: Explicit trace; overrides the synthesis knobs below when set.
+    trace: Optional[Trace] = None
+    trace_seed: int = DEFAULT_TRACE_SEED
+    #: ``None`` keeps the paper's 663-job scaled slice.
+    trace_jobs: Optional[int] = None
+    trace_overallocators: Optional[int] = None
+
+    # -- cluster shape -----------------------------------------------------
+    epc_total_bytes: int = EPC_TOTAL_BYTES
+    #: ``None`` keeps the paper's testbed (2 standard + 2 SGX workers).
+    standard_workers: Optional[int] = None
+    sgx_workers: Optional[int] = None
+
+    # -- driver / limit policy (Fig. 11's switches) ------------------------
+    enforce_epc_limits: bool = False
+    epc_allow_overcommit: bool = True
+
+    # -- control-plane cadence ---------------------------------------------
+    scheduler_period: float = SCHEDULER_PERIOD_SECONDS
+    metrics_period: float = METRICS_PUSH_PERIOD_SECONDS
+    requeue_backoff_seconds: float = 0.0
+    rebalance_period: Optional[float] = None
+
+    # -- strategy toggles --------------------------------------------------
+    use_measured: bool = True
+    strict_fcfs: bool = False
+    preserve_sgx_nodes: bool = True
+
+    # -- feature toggles (later PRs' fast paths) ---------------------------
+    event_driven: bool = False
+    indexed_scheduling: bool = False
+    use_state_cache: bool = True
+
+    # -- failure injection / stop -----------------------------------------
+    node_failures: Sequence[Tuple[float, str]] = ()
+    max_sim_seconds: float = 48 * 3600.0
+
+    def __post_init__(self):
+        for option_field in ("workload_options", "scheduler_options"):
+            value = getattr(self, option_field)
+            if not isinstance(value, tuple):
+                object.__setattr__(
+                    self, option_field, freeze_options(value)
+                )
+        object.__setattr__(
+            self,
+            "node_failures",
+            tuple(tuple(failure) for failure in self.node_failures),
+        )
+        if self.trace is not None and (
+            self.trace_jobs is not None
+            or self.trace_overallocators is not None
+        ):
+            raise SimulationError(
+                "an explicit trace conflicts with trace_jobs/"
+                "trace_overallocators: the synthesis knobs would be "
+                "silently ignored; set one or the other"
+            )
+        if self.trace_jobs is not None and self.trace_jobs < 1:
+            raise SimulationError(
+                f"trace_jobs must be >= 1: {self.trace_jobs}"
+            )
+        if (
+            self.trace_overallocators is not None
+            and self.trace_overallocators < 0
+        ):
+            raise SimulationError(
+                "trace_overallocators must be >= 0: "
+                f"{self.trace_overallocators}"
+            )
+        # The engine config performs the rest of the validation
+        # (fractions, periods, worker counts, registry names), so a
+        # scenario can never exist that the engine would reject later.
+        self.to_replay_config()
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        """Row label: the explicit name, or a knob summary."""
+        if self.name:
+            return self.name
+        return (
+            f"{self.scheduler}/{self.workload}"
+            f"/sgx={self.sgx_fraction:g}/seed={self.seed}"
+        )
+
+    def to_replay_config(self) -> ReplayConfig:
+        """The engine-level config equivalent to this scenario."""
+        return ReplayConfig(
+            scheduler=self.scheduler,
+            sgx_fraction=self.sgx_fraction,
+            seed=self.seed,
+            epc_total_bytes=self.epc_total_bytes,
+            enforce_epc_limits=self.enforce_epc_limits,
+            epc_allow_overcommit=self.epc_allow_overcommit,
+            scheduler_period=self.scheduler_period,
+            metrics_period=self.metrics_period,
+            use_measured=self.use_measured,
+            strict_fcfs=self.strict_fcfs,
+            preserve_sgx_nodes=self.preserve_sgx_nodes,
+            event_driven=self.event_driven,
+            requeue_backoff_seconds=self.requeue_backoff_seconds,
+            indexed_scheduling=self.indexed_scheduling,
+            standard_workers=self.standard_workers,
+            sgx_workers=self.sgx_workers,
+            use_state_cache=self.use_state_cache,
+            malicious=self.malicious,
+            rebalance_period=self.rebalance_period,
+            node_failures=self.node_failures,
+            max_sim_seconds=self.max_sim_seconds,
+            workload=self.workload,
+            workload_options=self.workload_options,
+            scheduler_options=self.scheduler_options,
+        )
+
+    def build_trace(self) -> Trace:
+        """The trace this scenario replays (synthesised or explicit).
+
+        A shrunk/grown trace keeps the paper's over-allocator share
+        (44 of 663 jobs) unless ``trace_overallocators`` pins it.
+        """
+        if self.trace is not None:
+            return self.trace
+        kwargs = {}
+        if self.trace_jobs is not None:
+            kwargs["n_jobs"] = self.trace_jobs
+            kwargs["overallocators"] = round(
+                self.trace_jobs
+                * TRACE_OVERALLOCATOR_COUNT
+                / TRACE_SCALED_JOB_COUNT
+            )
+        if self.trace_overallocators is not None:
+            kwargs["overallocators"] = self.trace_overallocators
+        return synthetic_scaled_trace(seed=self.trace_seed, **kwargs)
+
+    def build_scheduler(self) -> Scheduler:
+        """The configured strategy instance (for pass-level harnesses)."""
+        return make_scheduler(self.to_replay_config())
+
+    def with_(self, **changes) -> "Scenario":
+        """A copy with *changes* applied (re-validated on build)."""
+        valid = {f.name for f in dataclasses.fields(self)}
+        unknown = sorted(set(changes) - valid)
+        if unknown:
+            raise SimulationError(
+                f"unknown scenario field(s) {', '.join(unknown)}; "
+                f"valid: {', '.join(sorted(valid))}"
+            )
+        return dataclasses.replace(self, **changes)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> "RunResult":
+        """Execute the scenario; fully deterministic per its seeds."""
+        factory = WORKLOADS.get(self.workload)
+        # Workload factories that never read the trace (hybrid,
+        # malicious) declare ``consumes_trace = False``; skip the
+        # synthesis (and, in sweeps, the per-worker pickling) for them.
+        trace = (
+            self.build_trace()
+            if getattr(factory, "consumes_trace", True)
+            else None
+        )
+        replay = run_replay(trace, self.to_replay_config())
+        trigger = replay.orchestrator.trigger
+        return RunResult(
+            scenario=self,
+            metrics=replay.metrics,
+            passes_executed=replay.passes_executed,
+            passes_skipped=replay.passes_skipped,
+            migration_count=replay.migration_count,
+            events_published=trigger.events_published,
+            events_coalesced=trigger.events_coalesced,
+        )
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Structured outcome of one scenario run.
+
+    Carries the scenario, the full :class:`ReplayMetrics` (per-pod
+    lifecycles, the Fig. 7 queue series, makespan) and the engine's
+    pass/migration counters — everything picklable, so parallel sweep
+    workers can ship results back whole.  The live orchestrator and
+    event log intentionally stay behind in the worker; scenarios that
+    need them should drive the engine directly.
+    """
+
+    scenario: Scenario
+    metrics: ReplayMetrics
+    passes_executed: int = 0
+    passes_skipped: int = 0
+    migration_count: int = 0
+    events_published: int = 0
+    events_coalesced: int = 0
+
+    def pod_signature(self) -> Tuple:
+        """Every pod's full lifecycle, for bit-for-bit comparison."""
+        return tuple(
+            (
+                pod.name,
+                pod.phase.value,
+                pod.submitted_at,
+                pod.bound_at,
+                pod.started_at,
+                pod.finished_at,
+                pod.node_name,
+            )
+            for pod in self.metrics.pods
+        )
+
+    def signature(self) -> Tuple:
+        """Everything that must match for two runs to count as equal:
+        pod lifecycles, makespan, the queue series and the engine
+        counters.  Serial and parallel sweeps, and the legacy
+        ``replay_trace`` path, must agree on this bit for bit."""
+        return (
+            self.pod_signature(),
+            self.metrics.makespan_seconds,
+            tuple(self.metrics.queue_series),
+            self.passes_executed,
+            self.passes_skipped,
+            self.migration_count,
+        )
+
+    def to_row(self) -> Dict[str, object]:
+        """The flat summary row every formatter renders."""
+        scenario = self.scenario
+        metrics = self.metrics
+        return {
+            "scenario": scenario.label,
+            "scheduler": scenario.scheduler,
+            "workload": scenario.workload,
+            "sgx_fraction": scenario.sgx_fraction,
+            "seed": scenario.seed,
+            "epc_mib": round(scenario.epc_total_bytes / 2**20, 3),
+            "event_driven": scenario.event_driven,
+            "indexed": scenario.indexed_scheduling,
+            "submitted": len(metrics.pods),
+            "completed": len(metrics.succeeded),
+            "failed": len(metrics.failed),
+            "makespan_s": round(metrics.makespan_seconds, 3),
+            "mean_wait_s": round(metrics.mean_waiting_seconds(), 3),
+            "max_wait_s": round(metrics.max_waiting_seconds(), 3),
+            "turnaround_h": round(metrics.total_turnaround_hours(), 3),
+            "passes_executed": self.passes_executed,
+            "passes_skipped": self.passes_skipped,
+            "migrations": self.migration_count,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The summary row as a schema-tagged JSON document."""
+        return json.dumps(
+            {"schema": RUN_SCHEMA, **self.to_row()}, indent=indent
+        )
+
+    def to_table(self) -> str:
+        """The summary row as a one-row text table."""
+        row = self.to_row()
+        return format_table(list(row.keys()), [list(row.values())])

@@ -1,14 +1,18 @@
-"""Command-line interface: regenerate any paper figure from a shell.
+"""Command-line interface: figures, single scenarios, and sweeps.
 
 Usage::
 
     python -m repro list
     python -m repro fig7 [--trace-seed N] [--run-seed N]
     python -m repro all
+    python -m repro run --scheduler spread --sgx-fraction 0.5 [--json]
+    python -m repro sweep --grid sgx_fraction=0,0.5,1 --workers 4
 
-Each figure command runs the corresponding experiment driver and prints
-the same table the benchmark harness produces.  Exit status is 0 on
-success, 2 on usage errors.
+The figure commands regenerate the paper's evaluation tables; ``run``
+and ``sweep`` execute ad-hoc scenarios through :mod:`repro.api`, with
+the same row formatter behind the table and ``--json`` output.  Exit
+status is 0 on success, 2 on usage errors (including unknown
+scheduler/workload/grid-field names, which die before anything runs).
 """
 
 from __future__ import annotations
@@ -17,6 +21,9 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional, Tuple
 
+from .api import Scenario, Sweep
+from .constants import DEFAULT_RUN_SEED, DEFAULT_TRACE_SEED
+from .errors import RegistryError, SimulationError
 from .experiments import common
 from .experiments.ext_hybrid import format_ext_hybrid, run_ext_hybrid
 from .experiments.ext_sgx2 import format_ext_sgx2, run_ext_sgx2
@@ -29,6 +36,7 @@ from .experiments.fig6_startup import format_fig6, run_fig6
 from .experiments.fig7_epc_sizes import format_fig7, run_fig7
 from .experiments.fig8_waiting_cdf import format_fig8, run_fig8
 from .experiments.fig9_strategies import format_fig9, run_fig9
+from .units import mib
 
 #: name -> (description, needs_trace, run, format)
 _FIGURES: Dict[str, Tuple[str, bool, Callable, Callable]] = {
@@ -110,6 +118,97 @@ _FIGURES: Dict[str, Tuple[str, bool, Callable, Callable]] = {
     ),
 }
 
+def _seed_flags() -> argparse.ArgumentParser:
+    """Shared ``--trace-seed``/``--run-seed`` flags (figure commands)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--trace-seed",
+        type=int,
+        default=DEFAULT_TRACE_SEED,
+        help="seed of the synthetic Borg trace (default %(default)s)",
+    )
+    parent.add_argument(
+        "--run-seed",
+        type=int,
+        default=DEFAULT_RUN_SEED,
+        help="seed of per-run randomness such as SGX job designation "
+        "(default %(default)s)",
+    )
+    return parent
+
+
+def _scenario_flags() -> argparse.ArgumentParser:
+    """Shared scenario-building flags (``run``/``sweep`` commands)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--scheduler",
+        default="binpack",
+        help="registered strategy name (default %(default)s)",
+    )
+    parent.add_argument(
+        "--workload",
+        default="stress",
+        help="registered workload name (default %(default)s)",
+    )
+    parent.add_argument(
+        "--sgx-fraction",
+        type=float,
+        default=0.0,
+        help="share of jobs designated SGX-enabled (default %(default)s)",
+    )
+    parent.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_RUN_SEED,
+        help="per-run randomness seed (default %(default)s)",
+    )
+    parent.add_argument(
+        "--trace-seed",
+        type=int,
+        default=DEFAULT_TRACE_SEED,
+        help="seed of the synthetic Borg trace (default %(default)s)",
+    )
+    parent.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="trace jobs (default: the paper's 663-job slice)",
+    )
+    parent.add_argument(
+        "--epc-mib",
+        type=float,
+        default=None,
+        help="simulated PRM size in MiB (default: the paper's 128)",
+    )
+    parent.add_argument(
+        "--event-driven",
+        action="store_true",
+        help="fire scheduling passes on cluster events",
+    )
+    parent.add_argument(
+        "--indexed",
+        action="store_true",
+        help="schedule batches against the node-candidate index",
+    )
+    parent.add_argument(
+        "--no-state-cache",
+        action="store_true",
+        help="rescan the TSDB window instead of the aggregate cache",
+    )
+    parent.add_argument(
+        "--cluster-workers",
+        type=int,
+        default=None,
+        help="cluster scale: N standard + N SGX workers "
+        "(default: the paper's 2+2 testbed)",
+    )
+    parent.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured JSON document instead of a table",
+    )
+    return parent
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
@@ -117,28 +216,177 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description=(
             "Regenerate the evaluation figures of 'SGX-Aware Container "
-            "Orchestration for Heterogeneous Clusters' (ICDCS 2018)."
+            "Orchestration for Heterogeneous Clusters' (ICDCS 2018), or "
+            "run ad-hoc scenarios and sweeps through the scenario API."
         ),
     )
-    parser.add_argument(
-        "command",
-        choices=sorted(_FIGURES) + ["all", "list"],
-        help="figure to regenerate, 'all', or 'list'",
+    subparsers = parser.add_subparsers(
+        dest="command", metavar="command", required=True
     )
-    parser.add_argument(
-        "--trace-seed",
-        type=int,
-        default=common.DEFAULT_TRACE_SEED,
-        help="seed of the synthetic Borg trace (default %(default)s)",
+    seeds = _seed_flags()
+    for name in sorted(_FIGURES):
+        subparsers.add_parser(
+            name,
+            parents=[seeds],
+            # argparse %-expands help strings; descriptions contain
+            # literal percent signs ("0..100 % SGX job shares").
+            help=_FIGURES[name][0].replace("%", "%%"),
+        )
+    subparsers.add_parser(
+        "all", parents=[seeds], help="regenerate every figure"
     )
-    parser.add_argument(
-        "--run-seed",
+    subparsers.add_parser(
+        "list", parents=[seeds], help="list the available commands"
+    )
+
+    scenario_flags = _scenario_flags()
+    run_parser = subparsers.add_parser(
+        "run",
+        parents=[scenario_flags],
+        help="run one scenario built from flags",
+    )
+    run_parser.add_argument(
+        "--workers",
         type=int,
-        default=common.DEFAULT_RUN_SEED,
-        help="seed of per-run randomness such as SGX job designation "
-        "(default %(default)s)",
+        default=None,
+        help="shorthand for --cluster-workers (on sweep, --workers "
+        "is the process-pool size instead)",
+    )
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        parents=[scenario_flags],
+        help="run a grid of scenario variations",
+    )
+    sweep_parser.add_argument(
+        "--grid",
+        action="append",
+        required=True,
+        metavar="FIELD=V1,V2,...",
+        help="sweep axis over a scenario field (repeatable; axes are "
+        "crossed); 'epc_mib' is accepted as a convenience alias",
+    )
+    sweep_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size executing the sweep (default serial)",
     )
     return parser
+
+
+def _coerce(text: str) -> object:
+    """Grid value literal: bool, int, float, else string."""
+    stripped = text.strip()
+    if stripped.lower() in ("true", "false"):
+        return stripped.lower() == "true"
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError:
+        return stripped
+
+
+def _parse_grid(
+    specs: List[str], parser: argparse.ArgumentParser
+) -> Dict[str, List[object]]:
+    """``FIELD=V1,V2`` axes -> the Sweep grid mapping."""
+    grid: Dict[str, List[object]] = {}
+    for spec in specs:
+        field, separator, raw_values = spec.partition("=")
+        field = field.strip().replace("-", "_")
+        values = [
+            _coerce(value)
+            for value in raw_values.split(",")
+            if value.strip()
+        ]
+        if not separator or not field or not values:
+            parser.error(
+                f"--grid expects FIELD=V1,V2,... got {spec!r}"
+            )
+        if field == "epc_mib":
+            field = "epc_total_bytes"
+            if not all(
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                for value in values
+            ):
+                parser.error(
+                    f"--grid epc_mib values must be numbers, "
+                    f"got {spec!r}"
+                )
+            values = [int(mib(value)) for value in values]
+        if field in grid:
+            parser.error(
+                f"--grid axis {field!r} given twice; list every "
+                f"value in one FIELD=V1,V2,... spec"
+            )
+        grid[field] = values
+    return grid
+
+
+def _base_scenario(args: argparse.Namespace) -> Scenario:
+    """The scenario described by the shared ``run``/``sweep`` flags."""
+    kwargs: Dict[str, object] = dict(
+        scheduler=args.scheduler,
+        workload=args.workload,
+        sgx_fraction=args.sgx_fraction,
+        seed=args.seed,
+        trace_seed=args.trace_seed,
+        event_driven=args.event_driven,
+        indexed_scheduling=args.indexed,
+        use_state_cache=not args.no_state_cache,
+    )
+    if args.jobs is not None:
+        # build_trace scales the over-allocator share with the count.
+        kwargs["trace_jobs"] = args.jobs
+    if args.epc_mib is not None:
+        kwargs["epc_total_bytes"] = int(mib(args.epc_mib))
+    cluster_workers = args.cluster_workers
+    if cluster_workers is None and args.command == "run":
+        # ``repro run --workers`` is the documented shorthand; on
+        # sweep, --workers is the process-pool size instead.
+        cluster_workers = getattr(args, "workers", None)
+    if cluster_workers is not None:
+        kwargs["standard_workers"] = cluster_workers
+        kwargs["sgx_workers"] = cluster_workers
+    return Scenario(**kwargs)
+
+
+def _cmd_run(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    try:
+        scenario = _base_scenario(args)
+    except (SimulationError, RegistryError, TypeError, ValueError) as exc:
+        parser.error(str(exc))
+    result = scenario.run()
+    print(result.to_json() if args.json else result.to_table())
+    return 0
+
+
+def _cmd_sweep(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    grid = _parse_grid(args.grid, parser)
+    try:
+        # Construction covers all usage validation (field names,
+        # value ranges, worker count); execution errors past this
+        # point are real failures, not exit-2 usage errors.
+        sweep = Sweep(_base_scenario(args), grid=grid, name="cli")
+        if args.workers < 1:
+            raise SimulationError(
+                f"workers must be a positive integer: {args.workers}"
+            )
+    # TypeError/ValueError cover grid values that a structured field
+    # rejects before validation proper (e.g. node_failures=5).
+    except (SimulationError, RegistryError, TypeError, ValueError) as exc:
+        parser.error(str(exc))
+    outcome = sweep.run(workers=args.workers)
+    print(outcome.to_json() if args.json else outcome.to_table())
+    return 0
 
 
 def _run_one(name: str, seeds: Tuple[int, int]) -> None:
@@ -152,18 +400,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    seeds = (args.trace_seed, args.run_seed)
 
     if args.command == "list":
         width = max(len(name) for name in _FIGURES)
         for name in sorted(_FIGURES):
             print(f"{name:{width}s}  {_FIGURES[name][0]}")
+        print(f"{'run':{width}s}  one scenario from flags (repro.api)")
+        print(f"{'sweep':{width}s}  a parallel grid of scenarios")
         return 0
     if args.command == "all":
+        seeds = (args.trace_seed, args.run_seed)
         for name in sorted(_FIGURES):
             _run_one(name, seeds)
         return 0
-    _run_one(args.command, seeds)
+    if args.command == "run":
+        return _cmd_run(args, parser)
+    if args.command == "sweep":
+        return _cmd_sweep(args, parser)
+    _run_one(args.command, (args.trace_seed, args.run_seed))
     return 0
 
 

@@ -11,6 +11,18 @@ from __future__ import annotations
 from .units import gib, mib
 
 # --------------------------------------------------------------------------
+# Experiment defaults (not from the paper; shared by every driver)
+# --------------------------------------------------------------------------
+
+#: Seed of the synthetic scaled trace unless overridden: one trace,
+#: many runs, exactly like the paper replaying one scaled trace under
+#: many configurations.
+DEFAULT_TRACE_SEED = 42
+
+#: Seed for SGX-designation and other per-run randomness.
+DEFAULT_RUN_SEED = 1
+
+# --------------------------------------------------------------------------
 # SGX / EPC geometry (Section II)
 # --------------------------------------------------------------------------
 

@@ -106,6 +106,10 @@ class RpcError(OrchestrationError):
     """Simulated gRPC channel failure."""
 
 
+class RegistryError(ReproError):
+    """A scheduler/workload registry lookup or registration failed."""
+
+
 # --------------------------------------------------------------------------
 # Monitoring
 # --------------------------------------------------------------------------

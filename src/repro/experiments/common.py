@@ -1,46 +1,25 @@
-"""Shared plumbing for the per-figure experiment drivers."""
+"""Shared plumbing for the per-figure experiment drivers.
+
+The table formatter and the default seeds now live with the scenario
+layer (:mod:`repro.api.format`, :mod:`repro.constants`); this module
+re-exports them so driver code keeps one import site.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
-
+from ..api.format import format_table
+from ..constants import DEFAULT_RUN_SEED, DEFAULT_TRACE_SEED
 from ..trace.borg import synthetic_scaled_trace
 from ..trace.schema import Trace
 
-#: Seed used by every driver unless overridden: one trace, many runs,
-#: exactly like the paper replaying one scaled trace under many configs.
-DEFAULT_TRACE_SEED = 42
-
-#: Seed for SGX-designation and other per-run randomness.
-DEFAULT_RUN_SEED = 1
+__all__ = [
+    "DEFAULT_RUN_SEED",
+    "DEFAULT_TRACE_SEED",
+    "default_trace",
+    "format_table",
+]
 
 
 def default_trace(seed: int = DEFAULT_TRACE_SEED) -> Trace:
     """The evaluation workload shared by all figure drivers."""
     return synthetic_scaled_trace(seed=seed)
-
-
-def format_table(
-    headers: Sequence[str], rows: Iterable[Sequence[object]]
-) -> str:
-    """Render rows as a fixed-width text table (the bench output format)."""
-    materialized: List[List[str]] = [[str(h) for h in headers]]
-    for row in rows:
-        materialized.append(
-            [
-                f"{cell:.2f}" if isinstance(cell, float) else str(cell)
-                for cell in row
-            ]
-        )
-    widths = [
-        max(len(line[col]) for line in materialized)
-        for col in range(len(headers))
-    ]
-    lines = []
-    for index, line in enumerate(materialized):
-        lines.append(
-            "  ".join(cell.rjust(width) for cell, width in zip(line, widths))
-        )
-        if index == 0:
-            lines.append("  ".join("-" * width for width in widths))
-    return "\n".join(lines)

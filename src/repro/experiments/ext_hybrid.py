@@ -15,15 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-import numpy as np
-
 from ..cluster.topology import paper_cluster
 from ..orchestrator.controller import Orchestrator
 from ..orchestrator.pod import Pod
-from ..scheduler.binpack import BinpackScheduler
+from ..registry import SCHEDULERS, WORKLOADS
 from ..simulation.engine import SimulationEngine
-from ..units import gib, mib
-from ..workload.hybrid import hybrid_pod_spec
+from ..units import gib
 from .common import format_table
 
 #: Untrusted-memory sizes swept (bytes per job), as RAM/EPC ratios.
@@ -65,27 +62,22 @@ class _HybridRun:
     def __init__(self, memory_bytes: int, n_jobs: int, seed: int):
         self.cluster = paper_cluster()
         self.orchestrator = Orchestrator(self.cluster)
-        self.scheduler = BinpackScheduler()
+        self.scheduler = SCHEDULERS.get("binpack")()
         self.engine = SimulationEngine()
-        rng = np.random.default_rng(seed)
-        submit_times = np.sort(rng.uniform(0.0, 900.0, size=n_jobs))
-        self.durations: Dict[str, float] = {}
-        self.specs = []
-        for index in range(n_jobs):
-            name = f"hybrid-{index}"
-            duration = float(rng.uniform(60.0, 180.0))
-            self.durations[name] = duration
-            self.specs.append(
-                (
-                    float(submit_times[index]),
-                    hybrid_pod_spec(
-                        name,
-                        duration_seconds=duration,
-                        declared_epc_bytes=int(rng.uniform(mib(6), mib(20))),
-                        declared_memory_bytes=memory_bytes,
-                    ),
-                )
-            )
+        # The population comes from the registered hybrid workload, the
+        # same plans a Scenario(workload="hybrid") replays.
+        plans = WORKLOADS.get("hybrid")(
+            self.cluster,
+            None,
+            seed=seed,
+            n_jobs=n_jobs,
+            memory_bytes=memory_bytes,
+        )
+        self.specs = [(plan.submit_time, plan.spec) for plan in plans]
+        self.durations: Dict[str, float] = {
+            plan.spec.name: plan.spec.workload.duration_seconds
+            for plan in plans
+        }
         self.unsubmitted = n_jobs
         self.running = 0
         self.peak_epc = 0.0

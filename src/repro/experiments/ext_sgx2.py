@@ -38,7 +38,7 @@ from ..orchestrator.api import (
 )
 from ..orchestrator.controller import Orchestrator
 from ..orchestrator.pod import Pod
-from ..scheduler.binpack import BinpackScheduler
+from ..registry import SCHEDULERS
 from ..simulation.engine import SimulationEngine
 from .common import format_table
 
@@ -124,7 +124,7 @@ class _BurstyRun:
         self.sgx_version = sgx_version
         self.cluster = paper_cluster(sgx_version=sgx_version)
         self.orchestrator = Orchestrator(self.cluster)
-        self.scheduler = BinpackScheduler()
+        self.scheduler = SCHEDULERS.get("binpack")()
         self.engine = SimulationEngine()
         self.by_pod_name: Dict[str, BurstyJob] = {j.name: j for j in jobs}
         self.stall_seconds: Dict[str, float] = {}

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-from ..simulation.runner import ReplayConfig, replay_trace
+from ..api import Scenario, Sweep
 from ..trace.schema import Trace
 from .common import DEFAULT_RUN_SEED, default_trace, format_table
 
@@ -47,15 +47,21 @@ def run_fig10(
     """Run the four single-type replays and sum turnarounds."""
     if trace is None:
         trace = default_trace()
+    sweep = Sweep(
+        Scenario(seed=seed, trace=trace),
+        variations=[
+            {
+                "name": f"{strategy}/{kind}",
+                "scheduler": strategy,
+                "sgx_fraction": fraction,
+            }
+            for strategy, kind, fraction in RUN_MATRIX
+        ],
+        name="fig10",
+    )
     hours: Dict[str, float] = {}
-    for strategy, kind, fraction in RUN_MATRIX:
-        result = replay_trace(
-            trace,
-            ReplayConfig(
-                scheduler=strategy, sgx_fraction=fraction, seed=seed
-            ),
-        )
-        hours[f"{strategy}/{kind}"] = (
+    for result in sweep.run():
+        hours[result.scenario.name] = (
             result.metrics.total_turnaround_hours()
         )
     return Fig10Result(

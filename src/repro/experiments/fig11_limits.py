@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from ..simulation.runner import ReplayConfig, replay_trace
+from ..api import Scenario, Sweep
 from ..trace.schema import Trace
 from ..trace.stats import cdf_at, mean
 from ..workload.malicious import MaliciousConfig
@@ -80,20 +80,32 @@ def run_fig11(
     """Replay the four malicious/limits configurations."""
     if trace is None:
         trace = default_trace()
-    runs: Dict[str, Fig11Run] = {}
-    for label, enforce, occupancy in RUN_MATRIX:
-        malicious = (
-            MaliciousConfig(epc_occupancy=occupancy) if occupancy else None
-        )
-        config = ReplayConfig(
+    sweep = Sweep(
+        Scenario(
             scheduler="binpack",
             sgx_fraction=SGX_FRACTION,
             seed=seed,
-            enforce_epc_limits=enforce,
-            epc_allow_overcommit=not enforce,
-            malicious=malicious,
-        )
-        result = replay_trace(trace, config)
+            trace=trace,
+        ),
+        variations=[
+            {
+                "name": label,
+                "enforce_epc_limits": enforce,
+                "epc_allow_overcommit": not enforce,
+                "malicious": (
+                    MaliciousConfig(epc_occupancy=occupancy)
+                    if occupancy
+                    else None
+                ),
+            }
+            for label, enforce, occupancy in RUN_MATRIX
+        ],
+        name="fig11",
+    )
+    runs: Dict[str, Fig11Run] = {}
+    for (label, enforce, occupancy), result in zip(
+        RUN_MATRIX, sweep.run()
+    ):
         honest = [
             pod
             for pod in result.metrics.succeeded

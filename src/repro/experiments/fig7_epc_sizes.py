@@ -17,8 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from ..api import Scenario, Sweep
 from ..simulation.metrics import QueueSample
-from ..simulation.runner import ReplayConfig, replay_trace
 from ..trace.schema import Trace
 from ..units import fmt_duration, mib
 from .common import DEFAULT_RUN_SEED, default_trace, format_table
@@ -65,17 +65,15 @@ def run_fig7(
     """Replay the all-SGX trace under each simulated EPC size."""
     if trace is None:
         trace = default_trace()
+    sweep = Sweep(
+        Scenario(
+            scheduler="binpack", sgx_fraction=1.0, seed=seed, trace=trace
+        ),
+        grid={"epc_total_bytes": [mib(size) for size in sizes_mib]},
+        name="fig7",
+    )
     runs: Dict[int, Fig7Run] = {}
-    for size in sizes_mib:
-        result = replay_trace(
-            trace,
-            ReplayConfig(
-                scheduler="binpack",
-                sgx_fraction=1.0,
-                seed=seed,
-                epc_total_bytes=mib(size),
-            ),
-        )
+    for size, result in zip(sizes_mib, sweep.run()):
         metrics = result.metrics
         runs[size] = Fig7Run(
             epc_mib=size,

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from ..simulation.runner import ReplayConfig, replay_trace
+from ..api import Scenario, Sweep
 from ..trace.schema import Trace
 from ..trace.stats import cdf_at, mean
 from .common import DEFAULT_RUN_SEED, default_trace, format_table
@@ -57,14 +57,13 @@ def run_fig8(
     """Replay the trace at each SGX share under binpack."""
     if trace is None:
         trace = default_trace()
+    sweep = Sweep(
+        Scenario(scheduler="binpack", seed=seed, trace=trace),
+        grid={"sgx_fraction": list(fractions)},
+        name="fig8",
+    )
     runs: Dict[float, Fig8Run] = {}
-    for fraction in fractions:
-        result = replay_trace(
-            trace,
-            ReplayConfig(
-                scheduler="binpack", sgx_fraction=fraction, seed=seed
-            ),
-        )
+    for fraction, result in zip(fractions, sweep.run()):
         waits = result.metrics.waiting_times()
         runs[fraction] = Fig8Run(
             sgx_fraction=fraction,

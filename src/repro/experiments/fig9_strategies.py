@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from ..simulation.runner import ReplayConfig, replay_trace
+from ..api import Scenario, Sweep
 from ..trace.schema import Trace
 from ..units import pages_to_mib
 from .common import DEFAULT_RUN_SEED, default_trace, format_table
@@ -57,12 +57,13 @@ def run_fig9(
     """Replay the 50/50 mix under both strategies and bin the waits."""
     if trace is None:
         trace = default_trace()
+    sweep = Sweep(
+        Scenario(sgx_fraction=0.5, seed=seed, trace=trace),
+        grid={"scheduler": list(STRATEGIES)},
+        name="fig9",
+    )
     series: Dict[str, Fig9Series] = {}
-    for strategy in STRATEGIES:
-        result = replay_trace(
-            trace,
-            ReplayConfig(scheduler=strategy, sgx_fraction=0.5, seed=seed),
-        )
+    for strategy, result in zip(STRATEGIES, sweep.run()):
         for sgx in (True, False):
             kind = "sgx" if sgx else "standard"
             series[f"{strategy}/{kind}"] = Fig9Series(

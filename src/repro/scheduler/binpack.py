@@ -18,10 +18,12 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple
 
 from ..orchestrator.pod import Pod
+from ..registry import register_scheduler
 from .base import NodeView, Scheduler
 from .index import NodeCandidateIndex
 
 
+@register_scheduler("binpack")
 class BinpackScheduler(Scheduler):
     """First-fit over a consistent node order, SGX nodes sorted last."""
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple
 
 from ..orchestrator.pod import Pod
+from ..registry import register_scheduler
 from .base import NodeView, Scheduler
 from .index import NodeCandidateIndex
 
@@ -91,3 +92,20 @@ class KubeDefaultScheduler(Scheduler):
             return (view.load_after(requests), view.sgx_capable, view.name)
 
         return min(candidates, key=score, default=None)
+
+
+@register_scheduler("kube-default")
+def _kube_default_factory(
+    use_measured: bool = False,
+    strict_fcfs: bool = False,
+    preserve_sgx_nodes: bool = True,
+    indexed: bool = False,
+) -> KubeDefaultScheduler:
+    """Registry factory: the baseline ignores the SGX-aware knobs.
+
+    ``use_measured`` and ``preserve_sgx_nodes`` are accepted and
+    dropped — the stock scheduler is *defined* by declared-requests
+    feasibility, so a scenario cannot accidentally turn the baseline
+    into a measured-usage scheduler by flipping a shared toggle.
+    """
+    return KubeDefaultScheduler(strict_fcfs=strict_fcfs, indexed=indexed)

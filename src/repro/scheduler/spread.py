@@ -18,6 +18,7 @@ import math
 from typing import List, Optional, Sequence, Tuple
 
 from ..orchestrator.pod import Pod
+from ..registry import register_scheduler
 from .base import NodeView, Scheduler
 from .index import NodeCandidateIndex
 
@@ -30,6 +31,7 @@ def _stddev(values: List[float]) -> float:
     return math.sqrt(sum((v - mean) ** 2 for v in values) / len(values))
 
 
+@register_scheduler("spread")
 class SpreadScheduler(Scheduler):
     """Minimise the standard deviation of node loads after placement."""
 

@@ -39,37 +39,104 @@ work removed from the pass itself.  Composes freely with
 
 from __future__ import annotations
 
+import inspect
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+# Importing the strategy/workload *packages* (not just the modules the
+# runner itself touches) registers every built-in with the registries,
+# so a bare ``ReplayConfig(scheduler="spread")`` always resolves.
+from .. import scheduler as _scheduler_builtins  # noqa: F401
+from .. import workload as _workload_builtins  # noqa: F401
 from ..cluster.topology import paper_cluster
 from ..constants import (
     EPC_TOTAL_BYTES,
     METRICS_PUSH_PERIOD_SECONDS,
     SCHEDULER_PERIOD_SECONDS,
 )
-from ..errors import SimulationError
+from ..errors import RegistryError, SimulationError
 from ..orchestrator.controller import Orchestrator
 from ..orchestrator.pod import Pod
+from ..registry import SCHEDULERS, WORKLOADS
 from ..scheduler.base import Scheduler
-from ..scheduler.binpack import BinpackScheduler
-from ..scheduler.kube_default import KubeDefaultScheduler
 from ..scheduler.rebalancer import EpcRebalancer
-from ..scheduler.spread import SpreadScheduler
 from ..sgx.perf import SgxPerfModel
 from ..trace.schema import Trace
-from ..workload.malicious import MaliciousConfig, malicious_submissions
-from ..workload.stress import SubmissionPlan, materialize_trace
+from ..workload.malicious import MaliciousConfig
+from ..workload.stress import SubmissionPlan
 from .engine import EventHandle, SimulationEngine
 from .events import EventKind, EventLog
 from .metrics import QueueSample, ReplayMetrics
 
+#: Option mappings stored on the frozen config: sorted (key, value)
+#: pairs, so configs stay hashable and order-insensitively equal.
+OptionItems = Tuple[Tuple[str, object], ...]
+
+
+def freeze_options(options) -> OptionItems:
+    """Normalise a mapping (or pair iterable) into sorted items."""
+    if options is None:
+        return ()
+    if isinstance(options, Mapping):
+        items = options.items()
+    else:
+        items = dict(options).items()
+    return tuple(sorted(items))
+
+
+def _validate_factory_options(
+    kind: str,
+    name: str,
+    factory,
+    standard_kwargs: Dict[str, object],
+    options: OptionItems,
+) -> None:
+    """Fail at config construction if *options* cannot reach *factory*.
+
+    Checks the factory's signature without calling it: an option
+    shadowing a standard knob, or an unknown keyword on a factory
+    without ``**options``, would otherwise die with a bare TypeError
+    deep inside ``.run()`` (possibly in a pool worker).
+    """
+    extra = dict(options)
+    shadowed = sorted(set(extra) & set(standard_kwargs))
+    if shadowed:
+        raise SimulationError(
+            f"{kind}_options may not shadow the standard knob(s) "
+            f"{', '.join(shadowed)}; set the config field instead"
+        )
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # pragma: no cover - C callables
+        return
+    try:
+        signature.bind_partial(**standard_kwargs, **extra)
+    except TypeError as exc:
+        detail = (
+            f"invalid {kind}_options for {name!r}"
+            if extra
+            else f"{kind} {name!r} factory cannot accept the "
+            f"standard knobs ({', '.join(standard_kwargs)})"
+        )
+        raise SimulationError(f"{detail}: {exc}") from None
+
 
 @dataclass(frozen=True)
 class ReplayConfig:
-    """Parameters of one replay experiment."""
+    """Parameters of one replay experiment.
 
-    scheduler: str = "binpack"  # binpack | spread | kube-default
+    .. deprecated::
+        ``ReplayConfig`` + :func:`replay_trace` remain as a thin shim;
+        new code should build a :class:`repro.api.Scenario` (same
+        knobs, plus the trace source) and call ``.run()``.
+
+    Invalid parameters are rejected at construction time — a bad SGX
+    fraction, a non-positive period or an unknown scheduler name dies
+    here with the list of known names, not minutes into a replay.
+    """
+
+    scheduler: str = "binpack"  # any name in repro.registry.SCHEDULERS
     sgx_fraction: float = 0.0
     seed: int = 0
     epc_total_bytes: int = EPC_TOTAL_BYTES
@@ -116,6 +183,97 @@ class ReplayConfig:
     node_failures: Sequence[Tuple[float, str]] = ()
     #: Hard stop; generous because small EPC sizes drain slowly (Fig. 7).
     max_sim_seconds: float = 48 * 3600.0
+    #: Workload materialiser (any name in ``repro.registry.WORKLOADS``)
+    #: turning the trace into submission plans, plus its options.  The
+    #: default is the paper's STRESS-SGX trace materialisation.
+    workload: str = "stress"
+    workload_options: OptionItems = ()
+    #: Extra keyword arguments for the scheduler factory, for plugin
+    #: strategies with knobs beyond the standard four toggles.
+    scheduler_options: OptionItems = ()
+
+    def __post_init__(self):
+        # Accept plain dicts for the option fields; store sorted items
+        # so the config stays frozen, hashable and picklable.
+        for option_field in ("workload_options", "scheduler_options"):
+            value = getattr(self, option_field)
+            if not isinstance(value, tuple):
+                object.__setattr__(
+                    self, option_field, freeze_options(value)
+                )
+        if not 0.0 <= self.sgx_fraction <= 1.0:
+            raise SimulationError(
+                f"sgx_fraction outside [0, 1]: {self.sgx_fraction}"
+            )
+        if self.scheduler not in SCHEDULERS:
+            known = ", ".join(SCHEDULERS.names())
+            raise SimulationError(
+                f"unknown scheduler {self.scheduler!r}; known: {known}"
+            )
+        if self.workload not in WORKLOADS:
+            known = ", ".join(WORKLOADS.names())
+            raise SimulationError(
+                f"unknown workload {self.workload!r}; known: {known}"
+            )
+        if self.malicious is not None and self.workload == "malicious":
+            raise SimulationError(
+                "workload='malicious' already deploys the squatters; "
+                "the malicious= side deployment would duplicate their "
+                "pod names — drop one of the two"
+            )
+        # Unconditional: a factory that cannot even accept the
+        # standard knobs (a plugin with a bespoke __init__) must die
+        # here, not with a bare TypeError inside a pool worker.
+        _validate_factory_options(
+            "scheduler",
+            self.scheduler,
+            SCHEDULERS.get(self.scheduler),
+            {
+                "use_measured": self.use_measured,
+                "strict_fcfs": self.strict_fcfs,
+                "preserve_sgx_nodes": self.preserve_sgx_nodes,
+                "indexed": self.indexed_scheduling,
+            },
+            self.scheduler_options,
+        )
+        _validate_factory_options(
+            "workload",
+            self.workload,
+            WORKLOADS.get(self.workload),
+            {
+                "sgx_fraction": self.sgx_fraction,
+                "seed": self.seed,
+                "scheduler_name": self.scheduler,
+            },
+            self.workload_options,
+        )
+        for positive_field in (
+            "scheduler_period",
+            "metrics_period",
+            "max_sim_seconds",
+            "epc_total_bytes",
+        ):
+            value = getattr(self, positive_field)
+            if value <= 0:
+                raise SimulationError(
+                    f"{positive_field} must be positive: {value}"
+                )
+        if self.requeue_backoff_seconds < 0:
+            raise SimulationError(
+                "requeue_backoff_seconds must be >= 0: "
+                f"{self.requeue_backoff_seconds}"
+            )
+        if self.rebalance_period is not None and self.rebalance_period <= 0:
+            raise SimulationError(
+                f"rebalance_period must be positive: "
+                f"{self.rebalance_period}"
+            )
+        for worker_field in ("standard_workers", "sgx_workers"):
+            value = getattr(self, worker_field)
+            if value is not None and value < 1:
+                raise SimulationError(
+                    f"{worker_field} must be >= 1: {value}"
+                )
 
 
 @dataclass
@@ -136,27 +294,26 @@ class ReplayResult:
 
 
 def make_scheduler(config: ReplayConfig) -> Scheduler:
-    """Instantiate the strategy named by *config*."""
-    if config.scheduler == "binpack":
-        return BinpackScheduler(
-            use_measured=config.use_measured,
-            strict_fcfs=config.strict_fcfs,
-            preserve_sgx_nodes=config.preserve_sgx_nodes,
-            indexed=config.indexed_scheduling,
-        )
-    if config.scheduler == "spread":
-        return SpreadScheduler(
-            use_measured=config.use_measured,
-            strict_fcfs=config.strict_fcfs,
-            preserve_sgx_nodes=config.preserve_sgx_nodes,
-            indexed=config.indexed_scheduling,
-        )
-    if config.scheduler == "kube-default":
-        return KubeDefaultScheduler(
-            strict_fcfs=config.strict_fcfs,
-            indexed=config.indexed_scheduling,
-        )
-    raise SimulationError(f"unknown scheduler {config.scheduler!r}")
+    """Instantiate the strategy named by *config* via the registry.
+
+    The standard toggles are passed to every factory; registered
+    strategies that do not honour one (the kube-default baseline)
+    accept and drop it.  ``scheduler_options`` rides along for plugin
+    strategies with extra knobs.
+    """
+    try:
+        factory = SCHEDULERS.get(config.scheduler)
+    except RegistryError as exc:
+        # Unreachable through a validated config; kept so a hand-built
+        # config (or a plugin unregistered mid-run) fails identically.
+        raise SimulationError(str(exc)) from exc
+    return factory(
+        use_measured=config.use_measured,
+        strict_fcfs=config.strict_fcfs,
+        preserve_sgx_nodes=config.preserve_sgx_nodes,
+        indexed=config.indexed_scheduling,
+        **dict(config.scheduler_options),
+    )
 
 
 class _RunningJob:
@@ -209,18 +366,22 @@ class _Replay:
         self.running: Dict[str, _RunningJob] = {}  # pod uid -> job
         self.unsubmitted = 0
 
-        self.plans = materialize_trace(
+        build_plans = WORKLOADS.get(config.workload)
+        self.plans = build_plans(
+            self.cluster,
             trace,
             sgx_fraction=config.sgx_fraction,
             seed=config.seed,
             scheduler_name=self.scheduler.name,
+            **dict(config.workload_options),
         )
         if config.malicious is not None:
             self.plans = (
-                malicious_submissions(
+                WORKLOADS.get("malicious")(
                     self.cluster,
-                    config.malicious,
+                    trace,
                     scheduler_name=self.scheduler.name,
+                    config=config.malicious,
                 )
                 + self.plans
             )
@@ -566,6 +727,28 @@ class _Replay:
         )
 
 
-def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayResult:
-    """Replay *trace* under *config*; fully deterministic per seed."""
+def run_replay(trace: Trace, config: ReplayConfig) -> ReplayResult:
+    """The replay engine proper; :class:`repro.api.Scenario` drives it.
+
+    Identical to :func:`replay_trace` minus the deprecation warning —
+    the scenario layer is the supported caller.
+    """
     return _Replay(trace, config).run()
+
+
+def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayResult:
+    """Replay *trace* under *config*; fully deterministic per seed.
+
+    .. deprecated::
+        Thin shim over the same engine :class:`repro.api.Scenario`
+        drives; prefer ``Scenario(...).run()``, which also owns the
+        trace source and returns the structured
+        :class:`repro.api.RunResult`.
+    """
+    warnings.warn(
+        "replay_trace/ReplayConfig are deprecated; build a "
+        "repro.api.Scenario and call .run()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_replay(trace, config)

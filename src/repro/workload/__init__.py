@@ -8,13 +8,18 @@ models those stressors; :mod:`repro.workload.malicious` builds the
 under-declaring containers of Section VI-F.
 """
 
-from .hybrid import HybridStressor, hybrid_pod_spec
-from .malicious import MaliciousConfig, malicious_submissions
+from .hybrid import HybridStressor, hybrid_plans, hybrid_pod_spec
+from .malicious import (
+    MaliciousConfig,
+    malicious_plans,
+    malicious_submissions,
+)
 from .stress import (
     EpcStressor,
     SubmissionPlan,
     VmStressor,
     materialize_trace,
+    stress_plans,
 )
 
 __all__ = [
@@ -23,7 +28,10 @@ __all__ = [
     "MaliciousConfig",
     "SubmissionPlan",
     "VmStressor",
+    "hybrid_plans",
     "hybrid_pod_spec",
+    "malicious_plans",
     "malicious_submissions",
     "materialize_trace",
+    "stress_plans",
 ]

@@ -18,6 +18,9 @@ the binding constraint and EPC capacity strands.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List
+
+import numpy as np
 
 from ..cluster.resources import ResourceVector
 from ..errors import TraceError
@@ -27,7 +30,10 @@ from ..orchestrator.api import (
     ResourceRequirements,
     WorkloadProfile,
 )
+from ..registry import register_workload
+from ..units import gib, mib
 from ..units import pages as bytes_to_pages
+from .stress import SubmissionPlan
 
 
 @dataclass(frozen=True)
@@ -82,3 +88,62 @@ def hybrid_pod_spec(
         workload=stressor.profile(duration_seconds),
         labels={"origin": "hybrid"},
     )
+
+
+@register_workload("hybrid")
+def hybrid_plans(
+    cluster,
+    trace=None,
+    *,
+    sgx_fraction: float = 1.0,
+    seed: int = 0,
+    scheduler_name: str = DEFAULT_SCHEDULER,
+    n_jobs: int = 60,
+    window_seconds: float = 900.0,
+    min_duration_seconds: float = 60.0,
+    max_duration_seconds: float = 180.0,
+    min_epc_bytes: int = mib(6),
+    max_epc_bytes: int = mib(20),
+    memory_bytes: int = int(gib(1)),
+) -> List[SubmissionPlan]:
+    """Registry entry: a seeded hybrid trusted/untrusted population.
+
+    The ``ext-hybrid`` experiment's workload as a reusable scenario
+    ingredient: *n_jobs* jobs arrive uniformly over *window_seconds*,
+    each pinning a small enclave plus ``memory_bytes`` of untrusted
+    RAM on the same SGX node.  ``trace`` and ``sgx_fraction`` are part
+    of the uniform factory signature but unused — every hybrid job
+    requires SGX by construction.
+    """
+    if n_jobs <= 0:
+        raise TraceError(f"n_jobs must be positive: {n_jobs}")
+    rng = np.random.default_rng(seed)
+    submit_times = np.sort(rng.uniform(0.0, window_seconds, size=n_jobs))
+    plans: List[SubmissionPlan] = []
+    for index in range(n_jobs):
+        duration = float(
+            rng.uniform(min_duration_seconds, max_duration_seconds)
+        )
+        spec = hybrid_pod_spec(
+            f"hybrid-{index}",
+            duration_seconds=duration,
+            declared_epc_bytes=int(
+                rng.uniform(min_epc_bytes, max_epc_bytes)
+            ),
+            declared_memory_bytes=memory_bytes,
+            scheduler_name=scheduler_name,
+        )
+        plans.append(
+            SubmissionPlan(
+                submit_time=float(submit_times[index]),
+                spec=spec,
+                job_id=index,
+                is_sgx=True,
+            )
+        )
+    return plans
+
+
+#: The population is synthesised from the seed; Scenario.run skips the
+#: trace synthesis entirely for this workload.
+hybrid_plans.consumes_trace = False

@@ -25,6 +25,7 @@ from ..orchestrator.api import (
     ResourceRequirements,
     WorkloadProfile,
 )
+from ..registry import register_workload
 from .stress import SubmissionPlan
 
 
@@ -50,6 +51,44 @@ class MaliciousConfig:
             )
         if self.declared_pages < 1:
             raise TraceError("malicious pods must declare at least 1 page")
+
+
+@register_workload("malicious")
+def malicious_plans(
+    cluster: Cluster,
+    trace=None,
+    *,
+    sgx_fraction: float = 0.0,
+    seed: int = 0,
+    scheduler_name: str = DEFAULT_SCHEDULER,
+    config: MaliciousConfig = None,
+    **options,
+) -> List[SubmissionPlan]:
+    """Registry entry: the Section VI-F squatter deployment alone.
+
+    As a scenario's primary workload this deploys *only* the malicious
+    containers (one per SGX node); a trace replay with squatters on
+    the side keeps using ``Scenario(malicious=MaliciousConfig(...))``,
+    which composes this entry with the trace workload.  ``trace``,
+    ``sgx_fraction`` and ``seed`` are part of the uniform factory
+    signature but unused — the deployment is derived from the cluster
+    inventory.  Options (``epc_occupancy``, ``declared_pages``, ...)
+    feed :class:`MaliciousConfig` unless a ``config`` is given.
+    """
+    if config is None:
+        config = MaliciousConfig(**options)
+    elif options:
+        raise TraceError(
+            "pass either a MaliciousConfig or its fields, not both"
+        )
+    return malicious_submissions(
+        cluster, config, scheduler_name=scheduler_name
+    )
+
+
+#: The deployment is derived from the cluster inventory; Scenario.run
+#: skips the trace synthesis entirely for this workload.
+malicious_plans.consumes_trace = False
 
 
 def malicious_submissions(

@@ -33,6 +33,7 @@ from ..orchestrator.api import (
     ResourceRequirements,
     WorkloadProfile,
 )
+from ..registry import register_workload
 from ..trace.schema import Trace
 from ..units import pages as bytes_to_pages
 
@@ -75,6 +76,35 @@ class SubmissionPlan:
     spec: PodSpec
     job_id: int
     is_sgx: bool
+
+
+@register_workload("stress")
+def stress_plans(
+    cluster,
+    trace: Trace,
+    *,
+    sgx_fraction: float = 0.0,
+    seed: int = 0,
+    scheduler_name: str = DEFAULT_SCHEDULER,
+    **options,
+) -> List[SubmissionPlan]:
+    """Registry entry: the paper's STRESS-SGX trace materialisation.
+
+    The default workload of every scenario.  ``cluster`` is part of
+    the uniform workload-factory signature but unused — trace jobs are
+    sized by the paper's multipliers, not by the inventory (pass
+    ``standard_multiplier_bytes``/``sgx_multiplier_bytes`` via
+    ``workload_options`` to change that).
+    """
+    if trace is None:
+        raise TraceError("the 'stress' workload replays a trace")
+    return materialize_trace(
+        trace,
+        sgx_fraction=sgx_fraction,
+        seed=seed,
+        scheduler_name=scheduler_name,
+        **options,
+    )
 
 
 def materialize_trace(

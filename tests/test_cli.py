@@ -1,5 +1,6 @@
 """Experiment CLI."""
 
+import json
 import subprocess
 import sys
 
@@ -93,12 +94,232 @@ class TestFailurePaths:
         assert "fig7" in completed.stdout
 
 
+class TestScenarioCommands:
+    """``repro run`` / ``repro sweep``: usage and execution paths.
+
+    Execution tests shrink the trace with ``--jobs`` so each replay
+    stays sub-second; usage errors must exit 2 like every other
+    malformed invocation.
+    """
+
+    def test_run_unknown_scheduler_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--scheduler", "nope", "--jobs", "10"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown scheduler 'nope'" in err
+        assert "binpack" in err  # the known names are listed
+
+    def test_run_unknown_workload_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--workload", "nope", "--jobs", "10"])
+        assert excinfo.value.code == 2
+        assert "unknown workload 'nope'" in capsys.readouterr().err
+
+    def test_run_bad_fraction_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--sgx-fraction", "1.5", "--jobs", "10"])
+        assert excinfo.value.code == 2
+        assert "sgx_fraction" in capsys.readouterr().err
+
+    def test_run_non_numeric_fraction_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--sgx-fraction", "banana"])
+        assert excinfo.value.code == 2
+        assert "invalid float value" in capsys.readouterr().err
+
+    def test_sweep_requires_grid(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--jobs", "10"])
+        assert excinfo.value.code == 2
+        assert "--grid" in capsys.readouterr().err
+
+    def test_sweep_malformed_grid_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--grid", "sgx_fraction", "--jobs", "10"])
+        assert excinfo.value.code == 2
+        assert "FIELD=V1,V2" in capsys.readouterr().err
+
+    def test_sweep_unknown_grid_field_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--grid", "warp_factor=9", "--jobs", "10"])
+        assert excinfo.value.code == 2
+        assert "warp_factor" in capsys.readouterr().err
+
+    def test_sweep_non_numeric_epc_mib_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--grid", "epc_mib=abc", "--jobs", "10"])
+        assert excinfo.value.code == 2
+        assert "epc_mib" in capsys.readouterr().err
+
+    def test_sweep_structurally_bad_grid_value_exits_2(self, capsys):
+        # node_failures=5 passes _coerce but the Scenario field wants
+        # (time, node) pairs; the TypeError must surface as exit 2.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--grid", "node_failures=5", "--jobs", "10"])
+        assert excinfo.value.code == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_sweep_duplicate_grid_axis_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "sweep",
+                    "--grid",
+                    "sgx_fraction=0",
+                    "--grid",
+                    "sgx_fraction=0.5",
+                    "--jobs",
+                    "10",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "given twice" in capsys.readouterr().err
+
+    def test_sweep_bad_workers_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "sweep",
+                    "--grid",
+                    "sgx_fraction=0",
+                    "--workers",
+                    "0",
+                    "--jobs",
+                    "10",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_run_prints_table(self, capsys):
+        assert main(["run", "--jobs", "12", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan_s" in out
+        assert "binpack/stress" in out
+
+    def test_run_json_document(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--jobs",
+                    "12",
+                    "--sgx-fraction",
+                    "0.5",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.run/1"
+        assert payload["sgx_fraction"] == 0.5
+        assert payload["completed"] == 12
+
+    def test_sweep_runs_grid_in_order(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--jobs",
+                    "12",
+                    "--grid",
+                    "sgx_fraction=0,1",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.sweep/1"
+        assert [r["sgx_fraction"] for r in payload["results"]] == [0, 1]
+
+    def test_sweep_parallel_matches_serial(self, capsys):
+        argv = [
+            "sweep",
+            "--jobs",
+            "12",
+            "--grid",
+            "scheduler=binpack,spread",
+            "--json",
+        ]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_cluster_workers_agree_between_run_and_sweep(self, capsys):
+        # `run --workers N` is shorthand for --cluster-workers N; a
+        # sweep over a single point with the same cluster scale must
+        # reproduce the run exactly (pool --workers never changes the
+        # simulated cluster).
+        assert (
+            main(
+                [
+                    "run",
+                    "--jobs",
+                    "12",
+                    "--sgx-fraction",
+                    "0.5",
+                    "--workers",
+                    "3",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        run_row = json.loads(capsys.readouterr().out)
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--jobs",
+                    "12",
+                    "--cluster-workers",
+                    "3",
+                    "--grid",
+                    "sgx_fraction=0.5",
+                    "--workers",
+                    "2",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        sweep_row = json.loads(capsys.readouterr().out)["results"][0]
+        assert sweep_row["makespan_s"] == run_row["makespan_s"]
+        assert sweep_row["mean_wait_s"] == run_row["mean_wait_s"]
+
+    def test_sweep_epc_mib_alias(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--jobs",
+                    "12",
+                    "--grid",
+                    "epc_mib=128,256",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert [r["epc_mib"] for r in payload["results"]] == [
+            128.0,
+            256.0,
+        ]
+
+
 class TestExecution:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         for name in _FIGURES:
             assert name in out
+        assert "run" in out and "sweep" in out
 
     def test_fig6_runs(self, capsys):
         assert main(["fig6"]) == 0
