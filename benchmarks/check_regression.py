@@ -7,7 +7,11 @@ metric against the matching row of the committed ``BENCH_*.json``:
 * ``event_sched``  — ``pass_reduction`` (passes skipped by triggers);
 * ``sched_scale``  — ``speedup``  (indexed vs full-scan placement);
 * ``api_sweep``    — ``completed`` (scenario-layer sweep outcomes),
-  with the ``parallel_identical`` pool-vs-serial equivalence flag.
+  with the ``parallel_identical`` pool-vs-serial equivalence flag;
+* ``preemption``   — ``p50_reduction`` (high-priority-tier waiting
+  time, non-preemptive vs ``cheapest-victims``), with the
+  ``disabled_identical`` flag proving priority-disabled runs stay
+  bit-for-bit the oracle across engines.
 
 Baselines come in two shapes, both accepted: the legacy
 ``{"benchmark": ..., "results": [...]}`` reports and the scenario
@@ -66,6 +70,12 @@ GATES = {
         ("scheduler", "sgx_fraction"),
         "parallel_identical",
     ),
+    "preemption": (
+        "BENCH_preemption.json",
+        "p50_reduction",
+        ("pods",),
+        "disabled_identical",
+    ),
 }
 
 
@@ -101,6 +111,14 @@ def fresh_reports(names, quick: bool) -> dict:
         elif name == "event_sched":
             reports[name] = run_bench.run_event_sched(
                 sizes=(250,) if quick else (250, 1000, 2000)
+            )
+        elif name == "preemption":
+            # Quick mode keeps the 1000-pod headline row only; the
+            # gated reduction must stay comparable to its baseline.
+            reports[name] = run_bench.run_preemption(
+                sizes=(1000,)
+                if quick
+                else run_bench.PREEMPTION_SIZES
             )
         elif name == "api_sweep":
             # Quick mode halves the grid and pool but keeps the trace

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Two-tier tenants: priorities and EPC-aware preemption in action.
+
+A latency-critical tenant shares a contended SGX cluster with a bulk
+batch tenant (the scaled Borg trace, all-SGX, squeezed through a
+64 MiB PRM).  The same workload is replayed twice through the Scenario
+API:
+
+* ``preemption_policy="none"`` — the paper's strictly non-preemptive
+  FCFS orchestrator: the high tier queues behind whatever the batch
+  tier already committed to the nodes;
+* ``preemption_policy="cheapest-victims"`` — the EPC-aware planner:
+  high-tier pods evict the cheapest burstable victims (priced by
+  driver-measured enclave pages plus discarded runtime) and start
+  almost immediately; victims are resubmitted with their original
+  FCFS position.
+
+Run:  python examples/priority_tenants.py
+"""
+
+import statistics
+
+from repro.api import Scenario, rows_to_table
+from repro.trace.borg import synthetic_scaled_trace
+from repro.units import mib
+
+
+def tier_waits(result, tier):
+    return [
+        pod.waiting_seconds
+        for pod in result.metrics.succeeded
+        if pod.spec.labels.get("tier") == tier
+        and pod.waiting_seconds is not None
+    ]
+
+
+def main() -> None:
+    # A bursty slice of the trace: submissions outpace the cluster, so
+    # the pending queue backs up and scheduling policy matters.
+    trace = synthetic_scaled_trace(
+        seed=7, n_jobs=150, overallocators=15, window_seconds=300.0
+    )
+    base = Scenario(
+        trace=trace,
+        sgx_fraction=1.0,
+        seed=1,
+        epc_total_bytes=mib(64),
+        standard_workers=2,
+        sgx_workers=2,
+        workload="priority-mix",
+        workload_options={
+            "high_fraction": 0.2,
+            "high_priority": "latency-critical",
+        },
+    )
+
+    rows = []
+    results = {}
+    for policy in ("none", "cheapest-victims"):
+        result = base.with_(
+            name=policy, preemption_policy=policy
+        ).run()
+        results[policy] = result
+        row = result.to_row()
+        for tier in ("high", "low"):
+            waits = tier_waits(result, tier)
+            row[f"{tier}_p50_wait_s"] = round(
+                statistics.median(waits), 2
+            )
+        rows.append(row)
+
+    keep = [
+        "scenario", "completed", "high_p50_wait_s", "low_p50_wait_s",
+        "preemptions", "evictions", "wait_epc", "makespan_s",
+    ]
+    print("Two-tier tenant mix, non-preemptive vs cheapest-victims:\n")
+    print(rows_to_table([{k: row[k] for k in keep} for row in rows]))
+
+    none, cheap = results["none"], results["cheapest-victims"]
+    reduction = statistics.median(
+        tier_waits(none, "high")
+    ) / max(statistics.median(tier_waits(cheap, "high")), 1e-9)
+    print(
+        f"\nHigh-tier p50 waiting time drops {reduction:.1f}x; the "
+        f"planner executed {cheap.preemption_count} preemptions "
+        f"({cheap.eviction_count} evictions), and every evicted batch "
+        "pod was resubmitted at its original FCFS position."
+    )
+    assert cheap.preemption_count > 0
+    assert reduction > 1.0
+
+
+if __name__ == "__main__":
+    main()

@@ -48,6 +48,12 @@ from .orchestrator.api import (
 )
 from .orchestrator.controller import Orchestrator
 from .orchestrator.pod import Pod
+from .policy import (
+    PreemptionPolicy,
+    PriorityClass,
+    QosClass,
+    resolve_priority,
+)
 from .scheduler.binpack import BinpackScheduler
 from .scheduler.kube_default import KubeDefaultScheduler
 from .scheduler.spread import SpreadScheduler
@@ -82,6 +88,9 @@ __all__ = [
     "Pod",
     "PodPhase",
     "PodSpec",
+    "PreemptionPolicy",
+    "PriorityClass",
+    "QosClass",
     "ReplayConfig",
     "ReplayResult",
     "ResourceRequirements",
@@ -99,6 +108,7 @@ __all__ = [
     "register_scheduler",
     "register_workload",
     "replay_trace",
+    "resolve_priority",
     "synthetic_scaled_trace",
     "uniform_cluster",
 ]

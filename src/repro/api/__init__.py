@@ -31,9 +31,12 @@ deprecated shim over the same engine.
 """
 
 from ..registry import (
+    PREEMPTION_POLICIES,
     SCHEDULERS,
     WORKLOADS,
     Registry,
+    preemption_policy_names,
+    register_preemption_policy,
     register_scheduler,
     register_workload,
     scheduler_names,
@@ -50,6 +53,7 @@ from .scenario import RunResult, Scenario
 from .sweep import Sweep, SweepResult, expand_grid
 
 __all__ = [
+    "PREEMPTION_POLICIES",
     "RUN_SCHEMA",
     "SCHEDULERS",
     "SWEEP_SCHEMA",
@@ -61,6 +65,8 @@ __all__ = [
     "WORKLOADS",
     "expand_grid",
     "format_table",
+    "preemption_policy_names",
+    "register_preemption_policy",
     "register_scheduler",
     "register_workload",
     "rows_to_json",

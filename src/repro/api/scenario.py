@@ -33,6 +33,7 @@ from ..constants import (
     TRACE_SCALED_JOB_COUNT,
 )
 from ..errors import SimulationError
+from ..policy.classes import DEFAULT_PREEMPTION_THRESHOLD
 from ..registry import WORKLOADS
 from ..scheduler.base import Scheduler
 from ..simulation.metrics import ReplayMetrics
@@ -108,6 +109,20 @@ class Scenario:
     strict_fcfs: bool = False
     preserve_sgx_nodes: bool = True
 
+    # -- priority & preemption (the policy subsystem) ----------------------
+    #: Extra priority classes (name -> int) overlaid on the built-in
+    #: tiers (``best-effort``/``batch``/``latency-critical``); workload
+    #: ``priority`` options given as names resolve against the merge.
+    priority_classes: OptionItems = ()
+    #: Planner consulted when a pod above the threshold fails
+    #: placement (any name in
+    #: ``repro.registry.PREEMPTION_POLICIES``).  The default ``none``
+    #: keeps the paper's strictly non-preemptive scheduling and is
+    #: bit-for-bit identical to the pre-policy engine.
+    preemption_policy: str = "none"
+    #: Deferred pods at or above this priority may trigger evictions.
+    preemption_priority_threshold: int = DEFAULT_PREEMPTION_THRESHOLD
+
     # -- feature toggles (later PRs' fast paths) ---------------------------
     event_driven: bool = False
     indexed_scheduling: bool = False
@@ -118,7 +133,9 @@ class Scenario:
     max_sim_seconds: float = 48 * 3600.0
 
     def __post_init__(self):
-        for option_field in ("workload_options", "scheduler_options"):
+        for option_field in (
+            "workload_options", "scheduler_options", "priority_classes",
+        ):
             value = getattr(self, option_field)
             if not isinstance(value, tuple):
                 object.__setattr__(
@@ -194,6 +211,11 @@ class Scenario:
             workload=self.workload,
             workload_options=self.workload_options,
             scheduler_options=self.scheduler_options,
+            priority_classes=self.priority_classes,
+            preemption_policy=self.preemption_policy,
+            preemption_priority_threshold=(
+                self.preemption_priority_threshold
+            ),
         )
 
     def build_trace(self) -> Trace:
@@ -254,6 +276,9 @@ class Scenario:
             migration_count=replay.migration_count,
             events_published=trigger.events_published,
             events_coalesced=trigger.events_coalesced,
+            preemption_count=replay.preemption_count,
+            eviction_count=replay.eviction_count,
+            wait_reasons=replay.wait_reasons,
         )
 
 
@@ -276,6 +301,17 @@ class RunResult:
     migration_count: int = 0
     events_published: int = 0
     events_coalesced: int = 0
+    #: Pods placed by evicting victims (0 under the ``none`` policy).
+    preemption_count: int = 0
+    #: Victims evicted (killed and resubmitted) for those placements.
+    eviction_count: int = 0
+    #: Aggregate deferral reasons (see
+    #: :data:`repro.scheduler.base.WAIT_REASONS`): *why* pods waited —
+    #: EPC vs memory vs CPU starvation vs fragmentation — not just how
+    #: long.
+    wait_reasons: Dict[str, int] = dataclasses.field(
+        default_factory=dict
+    )
 
     def pod_signature(self) -> Tuple:
         """Every pod's full lifecycle, for bit-for-bit comparison."""
@@ -304,6 +340,9 @@ class RunResult:
             self.passes_executed,
             self.passes_skipped,
             self.migration_count,
+            self.preemption_count,
+            self.eviction_count,
+            tuple(sorted(self.wait_reasons.items())),
         )
 
     def to_row(self) -> Dict[str, object]:
@@ -329,6 +368,18 @@ class RunResult:
             "passes_executed": self.passes_executed,
             "passes_skipped": self.passes_skipped,
             "migrations": self.migration_count,
+            "preemptions": self.preemption_count,
+            "evictions": self.eviction_count,
+            # Deferral-reason aggregates: what the queue waited *on*.
+            "wait_epc": self.wait_reasons.get("epc", 0),
+            "wait_memory": self.wait_reasons.get("memory", 0),
+            "wait_cpu": self.wait_reasons.get("cpu", 0),
+            "wait_fragmentation": self.wait_reasons.get(
+                "fragmentation", 0
+            ),
+            "wait_head_of_line": self.wait_reasons.get(
+                "head_of_line", 0
+            ),
         }
 
     def to_json(self, indent: int = 2) -> str:

@@ -181,6 +181,20 @@ def _scenario_flags() -> argparse.ArgumentParser:
         help="simulated PRM size in MiB (default: the paper's 128)",
     )
     parent.add_argument(
+        "--preemption-policy",
+        default="none",
+        help="registered preemption planner consulted for "
+        "high-priority pods the pass cannot place (default "
+        "%(default)s: the paper's non-preemptive scheduling)",
+    )
+    parent.add_argument(
+        "--priority-threshold",
+        type=int,
+        default=100,
+        help="minimum pod priority that may trigger preemption "
+        "(default %(default)s)",
+    )
+    parent.add_argument(
         "--event-driven",
         action="store_true",
         help="fire scheduling passes on cluster events",
@@ -338,6 +352,8 @@ def _base_scenario(args: argparse.Namespace) -> Scenario:
         event_driven=args.event_driven,
         indexed_scheduling=args.indexed,
         use_state_cache=not args.no_state_cache,
+        preemption_policy=args.preemption_policy,
+        preemption_priority_threshold=args.priority_threshold,
     )
     if args.jobs is not None:
         # build_trace scales the over-allocator share with the count.

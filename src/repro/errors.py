@@ -110,6 +110,10 @@ class RegistryError(ReproError):
     """A scheduler/workload registry lookup or registration failed."""
 
 
+class PolicyError(OrchestrationError):
+    """Invalid priority/QoS configuration or preemption plan."""
+
+
 # --------------------------------------------------------------------------
 # Monitoring
 # --------------------------------------------------------------------------

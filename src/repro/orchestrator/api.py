@@ -103,7 +103,15 @@ class WorkloadProfile:
 
 @dataclass(frozen=True)
 class PodSpec:
-    """A pod manifest: image, resources, scheduler selection, workload."""
+    """A pod manifest: image, resources, scheduler selection, workload.
+
+    ``priority`` is the resolved integer of a
+    :class:`repro.policy.classes.PriorityClass`: the pending queue
+    orders tiers by it (higher first, FCFS within a tier) and the
+    preemption planners only evict strictly lower tiers.  The default
+    of 0 (``best-effort``) reproduces the paper's priority-free
+    orchestrator exactly.
+    """
 
     name: str
     image: str = "sebvaucher/sgx-base"
@@ -113,10 +121,17 @@ class PodSpec:
     scheduler_name: str = DEFAULT_SCHEDULER
     labels: Dict[str, str] = field(default_factory=dict)
     workload: Optional[WorkloadProfile] = None
+    priority: int = 0
 
     def __post_init__(self):
         if not self.name:
             raise PodSpecError("pod name must be non-empty")
+        if not isinstance(self.priority, int) or isinstance(
+            self.priority, bool
+        ):
+            raise PodSpecError(
+                f"pod priority must be an int, got {self.priority!r}"
+            )
 
     @property
     def requires_sgx(self) -> bool:
@@ -137,6 +152,7 @@ def make_pod_spec(
     actual_epc_bytes: Optional[int] = None,
     scheduler_name: str = DEFAULT_SCHEDULER,
     image: str = "sebvaucher/sgx-base",
+    priority: int = 0,
 ) -> PodSpec:
     """Convenience constructor used by the trace materialiser.
 
@@ -164,4 +180,5 @@ def make_pod_spec(
         resources=ResourceRequirements(requests=requests),
         scheduler_name=scheduler_name,
         workload=workload,
+        priority=priority,
     )

@@ -17,16 +17,20 @@ The orchestrator itself is clock-free: every method takes ``now``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..cluster.resources import ResourceVector
 from ..cluster.topology import Cluster
 from ..constants import METRICS_WINDOW_SECONDS
-from ..errors import OrchestrationError
+from ..errors import OrchestrationError, SchedulingError
 from ..monitoring.aggregate import WindowedAggregateCache
 from ..monitoring.heapster import Heapster
 from ..monitoring.probe import SgxMetricsProbe
 from ..monitoring.tsdb import TimeSeriesDatabase
-from ..scheduler.base import ClusterStateService, Scheduler
+from ..policy.classes import DEFAULT_PREEMPTION_THRESHOLD
+from ..policy.preemption import EvictionCandidate, PreemptionPolicy
+from ..policy.qos import is_evictable_by
+from ..scheduler.base import ClusterStateService, NodeView, Scheduler
 from ..scheduler.index import SelectionStats
 from ..sgx.migration import MigrationManager
 from ..sgx.perf import SgxPerfModel
@@ -58,6 +62,19 @@ class PassResult:
     requeued: List[Pod] = field(default_factory=list)
     #: Pods left pending.
     deferred: List[Pod] = field(default_factory=list)
+    #: ``(victim, replacement)`` pairs of pods evicted by the
+    #: preemption step; the replacement keeps the victim's original
+    #: ``submitted_at`` so it re-enters its tier's FCFS order.  Drivers
+    #: holding per-pod runtime state (the replay runner's running-job
+    #: table) must purge the victim's entries.
+    evicted: List[Tuple[Pod, Pod]] = field(default_factory=list)
+    #: Pods placed by evicting victims (their launches are also listed
+    #: in :attr:`launched`/:attr:`requeued`/:attr:`killed`).
+    preemptions: int = 0
+    #: Why deferred pods waited, keyed by
+    #: :data:`repro.scheduler.base.WAIT_REASONS`.  Pods later placed
+    #: by preemption still count: they did fail regular placement.
+    wait_reasons: Dict[str, int] = field(default_factory=dict)
     #: Counters of the indexed candidate selection, when the scheduler
     #: ran this pass in indexed mode (``None`` for the oracle path).
     selection: Optional[SelectionStats] = None
@@ -76,8 +93,15 @@ class Orchestrator:
         registry: Optional[ImageRegistry] = None,
         use_state_cache: bool = True,
         requeue_backoff_seconds: float = 0.0,
+        preemption_policy: Optional[PreemptionPolicy] = None,
+        preemption_priority_threshold: int = DEFAULT_PREEMPTION_THRESHOLD,
     ):
         self.cluster = cluster
+        #: The planner consulted for deferred pods at or above the
+        #: threshold; ``None`` (or a policy that never preempts) keeps
+        #: the paper's strictly non-preemptive scheduling.
+        self.preemption_policy = preemption_policy
+        self.preemption_priority_threshold = preemption_priority_threshold
         # Explicit None check: an empty TimeSeriesDatabase is falsy
         # (len == 0), and ``db or ...`` would silently discard it.
         self.db = (
@@ -220,9 +244,23 @@ class Orchestrator:
 
     # -- submission --------------------------------------------------------
 
-    def submit(self, spec: PodSpec, now: float) -> Pod:
-        """Accept a pod into the pending queue (Fig. 2, steps 1-2)."""
-        pod = Pod(spec, submitted_at=now)
+    def submit(
+        self,
+        spec: PodSpec,
+        now: float,
+        submitted_at: Optional[float] = None,
+    ) -> Pod:
+        """Accept a pod into the pending queue (Fig. 2, steps 1-2).
+
+        ``submitted_at`` backdates the pod's FCFS key without touching
+        the event time: the eviction path resubmits a victim's spec
+        with its original submission instant, so the replacement
+        re-enters exactly where its priority tier's FCFS order had the
+        victim instead of being demoted to the tier's tail.
+        """
+        pod = Pod(
+            spec, submitted_at=now if submitted_at is None else submitted_at
+        )
         self.queue.push(pod)
         self.all_pods.append(pod)
         self.trigger.publish(
@@ -307,8 +345,197 @@ class Orchestrator:
                 pod.mark_failed(now, admission.failure_reason or "killed")
                 result.killed.append(pod)
 
-        result.deferred.extend(outcome.deferred)
+        result.wait_reasons = dict(outcome.wait_reasons)
+        deferred = list(outcome.deferred)
+        if (
+            deferred
+            and self.preemption_policy is not None
+            and not self.preemption_policy.never_preempts
+        ):
+            deferred = self._preempt_and_place(
+                scheduler, views, deferred, result, now
+            )
+        result.deferred.extend(deferred)
         return result
+
+    # -- preemption (the policy layer's in-pass hook) ----------------------
+
+    def _collect_eviction_facts(
+        self, now: float
+    ) -> Dict[str, List[EvictionCandidate]]:
+        """Per node, the priced eviction candidates of this pass.
+
+        The expensive facts — the admitted-pod walk and the
+        driver-measured occupancy ioctl behind each candidate's
+        ``freed``/``cost`` inputs — are preemptor-independent, so they
+        are collected once per pass and filtered per preemptor (the
+        priority/QoS gate) by :meth:`_preempt_and_place`, which also
+        removes executed victims from these lists.  Pods bound at
+        *now* — placed by this very pass — are excluded outright so a
+        pass never thrashes its own placements.
+        """
+        facts: Dict[str, List[EvictionCandidate]] = {}
+        for node_name, kubelet in self.kubelets.items():
+            candidates: List[EvictionCandidate] = []
+            for victim in kubelet.admitted_pods():
+                if victim.phase.value not in ("Bound", "Running"):
+                    continue
+                if victim.bound_at == now:
+                    continue
+                pages = kubelet.measured_epc_pages(victim)
+                victim_requests = victim.spec.resources.requests
+                freed = ResourceVector(
+                    cpu_millicores=victim_requests.cpu_millicores,
+                    memory_bytes=victim_requests.memory_bytes,
+                    epc_pages=(
+                        pages if pages > 0 else victim_requests.epc_pages
+                    ),
+                )
+                lost = (
+                    now - victim.started_at
+                    if victim.started_at is not None
+                    else 0.0
+                )
+                candidates.append(
+                    EvictionCandidate(
+                        pod=victim,
+                        node_name=node_name,
+                        freed=freed,
+                        measured_epc_pages=pages,
+                        lost_work_seconds=lost,
+                    )
+                )
+            facts[node_name] = candidates
+        return facts
+
+    def _eviction_candidates(
+        self,
+        preemptor: Pod,
+        views: Sequence[NodeView],
+        facts: Dict[str, List[EvictionCandidate]],
+    ) -> Dict[str, List[EvictionCandidate]]:
+        """Per eligible node, the pods *preemptor* may evict.
+
+        Eligibility mirrors ``can_ever_fit``: hardware-compatible
+        nodes whose total capacity could host the pod.  A node with no
+        evictable pods still appears (with an empty list) because a
+        zero-victim plan is valid once earlier evictions freed room.
+        Evictability is the QoS layer's call
+        (:func:`repro.policy.qos.is_evictable_by`), applied per
+        preemptor over the pass's shared *facts*.
+        """
+        requests = preemptor.spec.resources.requests
+        by_node: Dict[str, List[EvictionCandidate]] = {}
+        for view in views:
+            if preemptor.requires_sgx and not view.sgx_capable:
+                continue
+            if not requests.fits_within(view.capacity):
+                continue
+            node_facts = facts.get(view.name)
+            if node_facts is None:
+                continue
+            by_node[view.name] = [
+                candidate
+                for candidate in node_facts
+                if is_evictable_by(candidate.pod, preemptor)
+            ]
+        return by_node
+
+    def _preempt_and_place(
+        self,
+        scheduler: Scheduler,
+        views: Sequence[NodeView],
+        deferred: List[Pod],
+        result: PassResult,
+        now: float,
+    ) -> List[Pod]:
+        """Serve deferred pods above the threshold by evicting victims.
+
+        For each deferred pod at or above the priority threshold (in
+        queue order — highest tier first, FCFS within), the configured
+        planner picks the cheapest feasible eviction set; victims are
+        killed through the normal kill path, their specs resubmitted
+        with the original ``submitted_at``, and the pod is bound and
+        launched *in this same pass*.  The pass's views (and, when the
+        pass ran indexed, the candidate index — O(log n) per update)
+        track every release and reservation, so later preemptors plan
+        against the pass's true in-flight state.  Returns the pods
+        still deferred.
+        """
+        policy = self.preemption_policy
+        assert policy is not None
+        views_by_name = {view.name: view for view in views}
+        index = scheduler.last_index
+        facts = self._collect_eviction_facts(now)
+        still_deferred: List[Pod] = []
+        for position, pod in enumerate(deferred):
+            if scheduler.strict_fcfs and position > 0:
+                # Strict FCFS: an unplaceable queue head blocks every
+                # younger pod — including from preempting its way past
+                # it.  The tail (deferred as ``head_of_line``, never
+                # examined) stays deferred; the next pass re-attempts
+                # in order.
+                still_deferred.append(pod)
+                continue
+            if pod.spec.priority < self.preemption_priority_threshold:
+                still_deferred.append(pod)
+                continue
+            plan = policy.plan(
+                pod,
+                views_by_name,
+                self._eviction_candidates(pod, views, facts),
+                now,
+            )
+            if plan is None:
+                still_deferred.append(pod)
+                continue
+            view = views_by_name[plan.node_name]
+            for candidate in plan.victims:
+                victim = candidate.pod
+                self.kill_pod(
+                    victim, now, f"Evicted: preempted by {pod.name}"
+                )
+                replacement = self.submit(
+                    victim.spec, now, submitted_at=victim.submitted_at
+                )
+                view.release(
+                    candidate.freed, victim.spec.resources.requests
+                )
+                if index is not None:
+                    index.note_released(view)
+                facts[plan.node_name].remove(candidate)
+                result.evicted.append((victim, replacement))
+            if not pod.spec.resources.requests.fits_within(view.available):
+                raise SchedulingError(
+                    f"{policy.name} planned an infeasible eviction set "
+                    f"on {plan.node_name} for pod {pod.name}"
+                )
+            self.queue.remove(pod)
+            pod.mark_bound(plan.node_name, now)
+            view.reserve(pod.spec.resources.requests)
+            if index is not None:
+                index.note_reserved(view)
+            result.preemptions += 1
+            admission = self.kubelets[plan.node_name].admit(pod)
+            if admission.success:
+                result.launched.append((pod, admission.startup_seconds))
+            elif admission.retryable:
+                # The freed EPC can still race a concurrent allocation
+                # in principle; the requeue machinery covers it exactly
+                # like a regular transient launch failure.
+                pod.mark_unbound()
+                ready_at = self.queue.requeue(pod, now)
+                result.requeued.append(pod)
+                self.trigger.publish(
+                    ClusterEvent.POD_REQUEUED,
+                    now,
+                    pod_name=pod.name,
+                    ready_at=ready_at,
+                )
+            else:
+                pod.mark_failed(now, admission.failure_reason or "killed")
+                result.killed.append(pod)
+        return still_deferred
 
     # -- lifecycle driven by the event loop ----------------------------------
 

@@ -116,6 +116,24 @@ class Kubelet:
         """EPC page items advertised by the device plugin (0 if none)."""
         return self.devices.capacity(SGX_EPC_RESOURCE)
 
+    def measured_epc_pages(self, pod: Pod) -> int:
+        """Driver-measured EPC occupancy of one admitted pod (0 if none).
+
+        The per-process ioctl of Section V-E — the paper's stated
+        mechanism for identifying preemption and migration victims.
+        Both the EPC rebalancer and the preemption planners price
+        candidates by this number: an SGX2-grown enclave occupies its
+        *measured* pages, not its declared request.
+        """
+        record = self._records.get(pod.uid)
+        if (
+            record is None
+            or record.pid is None
+            or self.node.driver is None
+        ):
+            return 0
+        return self.node.driver.process_epc_pages(record.pid)
+
     # -- pod lifecycle ----------------------------------------------------
 
     def admit(self, pod: Pod) -> AdmissionResult:

@@ -44,6 +44,15 @@ class Pod:
         """Whether this pod can only run on SGX nodes."""
         return self.spec.requires_sgx
 
+    @property
+    def qos_class(self):
+        """The pod's QoS tier (requests vs limits; governs eviction)."""
+        # Imported lazily: the policy package sits above the
+        # orchestrator in the layering and must stay importable alone.
+        from ..policy.qos import qos_of
+
+        return qos_of(self.spec.resources)
+
     # -- transitions ----------------------------------------------------------
 
     def mark_bound(self, node_name: str, now: float) -> None:

@@ -1,21 +1,27 @@
-"""Persistent FCFS pending queue with a backoff-aware requeue sub-queue.
+"""Priority-tiered FCFS pending queue with a backoff-aware requeue
+sub-queue.
 
 Section IV: "The orchestrator keeps a persistent queue of pending jobs;
 the scheduler periodically checks for the possibility to schedule some of
 them, applying a first-come first-served (FCFS) priority."
 
-Jobs are iterated oldest-first by *original submission time*.  Like the
+Jobs are iterated highest-priority-tier first, and oldest-first by
+*original submission time* within a tier.  The paper's evaluation runs
+entirely at the default priority 0, where the tier key is constant and
+the order collapses to the original pure FCFS — priority-disabled
+replays are bit-for-bit identical to the pre-policy queue.  Like the
 Kubernetes scheduler the paper extends non-preemptively, a job that
 cannot currently be placed does not block younger jobs from being
-attempted (no head-of-line blocking), but priority remains FCFS: every
-pass considers older jobs first.  A strict variant is available for the
-ablation benchmark.
+attempted (no head-of-line blocking), but priority within a tier
+remains FCFS: every pass considers older jobs first.  A strict variant
+is available for the ablation benchmark.
 
 Two queues live here:
 
 * the **main queue** of submitted pods, ordered by
-  ``(submitted_at, uid)`` — uids are monotonically increasing, so ties
-  at the same submission instant break by arrival order;
+  ``(-priority, submitted_at, uid)`` — uids are monotonically
+  increasing, so ties at the same submission instant break by arrival
+  order;
 * the **requeue sub-queue** for pods whose launch failed transiently.
   A requeued pod keeps its original ``submitted_at`` key, so it regains
   its FCFS position instead of being demoted to the tail (where the
@@ -88,25 +94,32 @@ class PendingQueue:
         return len(self._pods)
 
     def _ordered(self) -> List[Pod]:
-        """All queued pods, FCFS: by submission time, then arrival."""
+        """All queued pods: priority tiers first, FCFS within a tier.
+
+        An evicted pod is resubmitted with its *original*
+        ``submitted_at``, so it re-enters exactly where its tier's
+        FCFS order had it.
+        """
         return sorted(
-            self._pods.values(), key=lambda p: (p.submitted_at, p.uid)
+            self._pods.values(),
+            key=lambda p: (-p.spec.priority, p.submitted_at, p.uid),
         )
 
     def __iter__(self) -> Iterator[Pod]:
-        """Oldest-first iteration over a snapshot of the queue."""
+        """Highest-tier-oldest-first iteration over a queue snapshot."""
         return iter(self._ordered())
 
     def peek(self) -> Optional[Pod]:
-        """The oldest pending pod (backed off or not), or ``None``."""
+        """The frontmost pending pod (backed off or not), or ``None``."""
         ordered = self._ordered()
         return ordered[0] if ordered else None
 
     def snapshot(self, now: Optional[float] = None) -> List[Pod]:
-        """Oldest-first list of pods eligible for scheduling.
+        """Scheduling-ordered list of pods eligible for scheduling.
 
         With *now* supplied, pods still inside a requeue backoff are
-        excluded; without it the whole queue is returned (reporting).
+        excluded (a pod whose ``ready_at`` equals *now* exactly is
+        eligible); without it the whole queue is returned (reporting).
         """
         ordered = self._ordered()
         if now is None or not self._ready_at:

@@ -1,0 +1,78 @@
+"""QoS classes: who is evictable, derived from requests vs limits.
+
+Kubernetes derives a pod's quality-of-service tier from the gap
+between what it *requests* (the scheduler's reservation) and what it
+is *limited* to (enforcement's cap); the eviction machinery then
+only touches the tiers that left themselves a gap.  The same
+derivation governs the preemption subsystem here:
+
+* **guaranteed** — explicit limits equal to the requests: the tenant
+  paid for exactly what it uses and is never evicted;
+* **burstable** — requests without matching explicit limits (the
+  paper's trace pods declare one number, stored as requests only):
+  evictable by higher-priority pods;
+* **best-effort** — no requests at all: first against the wall.
+
+Note the deliberate difference from ``effective_limits``: a pod whose
+``limits`` field is ``None`` *defaults* to its requests for
+enforcement purposes, but that default does not buy guaranteed QoS —
+only explicitly pinning ``limits == requests`` does, exactly as in
+Kubernetes (where omitting limits yields Burstable).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..orchestrator.api import ResourceRequirements
+    from ..orchestrator.pod import Pod
+
+
+class QosClass(enum.Enum):
+    """Eviction tiers, ordered from most to least protected."""
+
+    GUARANTEED = "Guaranteed"
+    BURSTABLE = "Burstable"
+    BEST_EFFORT = "BestEffort"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def evictable(self) -> bool:
+        """Whether pods of this tier may ever be preemption victims."""
+        return self is not QosClass.GUARANTEED
+
+
+def qos_of(resources: "ResourceRequirements") -> QosClass:
+    """The QoS tier *resources* buys (see module docstring)."""
+    requests = resources.requests
+    if (
+        requests.cpu_millicores == 0
+        and requests.memory_bytes == 0
+        and requests.epc_pages == 0
+    ):
+        return QosClass.BEST_EFFORT
+    if resources.limits is not None and resources.limits == requests:
+        return QosClass.GUARANTEED
+    return QosClass.BURSTABLE
+
+
+def is_evictable_by(victim: "Pod", preemptor: "Pod") -> bool:
+    """Whether *preemptor* may evict *victim*.
+
+    Three conditions, all required:
+
+    * the victim actually holds node resources (bound or running; a
+      terminal or still-pending pod has nothing to free);
+    * the victim's QoS tier is evictable (guaranteed pods never are);
+    * the victim sits in a strictly lower priority tier — equal
+      priority never preempts, so FCFS holds within a tier.
+    """
+    if victim.phase.value not in ("Bound", "Running"):
+        return False
+    if not victim.qos_class.evictable:
+        return False
+    return victim.spec.priority < preemptor.spec.priority

@@ -117,6 +117,13 @@ SCHEDULERS = Registry("scheduler")
 #: ``Scenario.run`` then skips the trace synthesis for it.
 WORKLOADS = Registry("workload")
 
+#: Preemption planners addressable by ``Scenario(preemption_policy=...)``.
+#: Factories are called with no arguments and must return a
+#: :class:`repro.policy.preemption.PreemptionPolicy`.  The built-in
+#: ``none`` (the default) keeps the paper's strictly non-preemptive
+#: orchestrator.
+PREEMPTION_POLICIES = Registry("preemption policy")
+
 
 def register_scheduler(name: str):
     """Class/function decorator adding a scheduler strategy by name."""
@@ -128,6 +135,11 @@ def register_workload(name: str):
     return WORKLOADS.register(name)
 
 
+def register_preemption_policy(name: str):
+    """Class/function decorator adding a preemption planner by name."""
+    return PREEMPTION_POLICIES.register(name)
+
+
 def scheduler_names() -> Tuple[str, ...]:
     """Sorted names of all registered scheduling strategies."""
     return SCHEDULERS.names()
@@ -136,3 +148,8 @@ def scheduler_names() -> Tuple[str, ...]:
 def workload_names() -> Tuple[str, ...]:
     """Sorted names of all registered workloads."""
     return WORKLOADS.names()
+
+
+def preemption_policy_names() -> Tuple[str, ...]:
+    """Sorted names of all registered preemption planners."""
+    return PREEMPTION_POLICIES.names()

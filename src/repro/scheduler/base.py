@@ -68,6 +68,26 @@ class NodeView:
         self.used = self.used + requests
         self.committed = self.committed + requests
 
+    def release(
+        self,
+        freed: ResourceVector,
+        committed: Optional[ResourceVector] = None,
+    ) -> None:
+        """Return an evicted pod's resources to this view (in-pass).
+
+        The inverse of :meth:`reserve`, used by the preemption step
+        when a victim is killed mid-pass.  ``freed`` is the usage
+        estimate returned to ``used`` (measured EPC, declared
+        memory/CPU); ``committed`` defaults to it.  Components are
+        floored at zero because a victim's measured usage may exceed
+        what this view had attributed to it — the next pass rebuilds
+        views from ground truth either way.
+        """
+        self.used = (self.used - freed).clamp_floor()
+        self.committed = (
+            self.committed - (freed if committed is None else committed)
+        ).clamp_floor()
+
     def load_after(self, requests: ResourceVector) -> float:
         """The load this node would have after placing *requests*.
 
@@ -99,6 +119,45 @@ class SchedulingOutcome:
     unschedulable: List[Pod] = field(default_factory=list)
     #: Pods left pending this pass (no room right now).
     deferred: List[Pod] = field(default_factory=list)
+    #: Why deferred pods waited, keyed by :data:`WAIT_REASONS` entries
+    #: — the blocked dimension (no node has enough of it free), or
+    #: ``fragmentation`` (each dimension fits somewhere, no single node
+    #: fits all), or ``head_of_line`` (strict-FCFS tail, never
+    #: examined).
+    wait_reasons: Dict[str, int] = field(default_factory=dict)
+
+    def defer(self, pod: Pod, reason: str) -> None:
+        """Record *pod* as deferred for *reason*."""
+        self.deferred.append(pod)
+        self.wait_reasons[reason] = self.wait_reasons.get(reason, 0) + 1
+
+
+#: The deferral-reason keys :meth:`SchedulingOutcome.defer` uses.
+WAIT_REASONS = ("epc", "memory", "cpu", "fragmentation", "head_of_line")
+
+
+def classify_wait(
+    requests: ResourceVector,
+    cpu_max: int,
+    memory_max: int,
+    epc_max: int,
+) -> str:
+    """Why *requests* fit no node, given per-dimension free maxima.
+
+    The maxima are taken over the pod's eligible nodes (SGX-capable
+    only for enclave pods).  A dimension whose request exceeds even
+    the best node's free amount is the binding constraint; checked in
+    EPC -> memory -> CPU order because EPC is the scarcest resource.
+    When every dimension fits *somewhere* but no single node fits all,
+    the wait is down to fragmentation.
+    """
+    if requests.epc_pages > epc_max:
+        return "epc"
+    if requests.memory_bytes > memory_max:
+        return "memory"
+    if requests.cpu_millicores > cpu_max:
+        return "cpu"
+    return "fragmentation"
 
 
 #: Inner query of the paper's Listing 1, parameterised by measurement:
@@ -418,6 +477,11 @@ class Scheduler(abc.ABC):
         #: Counters of the most recent indexed pass (``None`` after an
         #: oracle pass); the orchestrator copies this into PassResult.
         self.last_selection_stats: Optional[SelectionStats] = None
+        #: The candidate index of the most recent indexed pass
+        #: (``None`` after an oracle pass).  The orchestrator's
+        #: preemption step keeps it consistent — O(log n) per
+        #: un-placement — while evictions mutate the pass's views.
+        self.last_index: Optional[NodeCandidateIndex] = None
 
     def schedule(
         self, pending: Sequence[Pod], views: Sequence[NodeView], now: float
@@ -426,6 +490,7 @@ class Scheduler(abc.ABC):
         if self.indexed:
             return self._schedule_indexed(pending, views, now)
         self.last_selection_stats = None
+        self.last_index = None
         outcome = SchedulingOutcome()
         views = list(views)
         if not self.use_measured:
@@ -439,16 +504,17 @@ class Scheduler(abc.ABC):
             if self.preserve_sgx_nodes:
                 candidates = prefer_non_sgx(pod, candidates)
             if not candidates:
-                outcome.deferred.append(pod)
+                outcome.defer(pod, self._wait_reason(pod, views))
                 if self.strict_fcfs:
                     remaining = list(pending)
                     tail = remaining[remaining.index(pod) + 1:]
-                    outcome.deferred.extend(tail)
+                    for blocked in tail:
+                        outcome.defer(blocked, "head_of_line")
                     break
                 continue
             chosen = self._select(pod, candidates, views)
             if chosen is None:
-                outcome.deferred.append(pod)
+                outcome.defer(pod, self._wait_reason(pod, views))
                 continue
             if not pod.spec.resources.requests.fits_within(chosen.available):
                 raise SchedulingError(
@@ -484,21 +550,23 @@ class Scheduler(abc.ABC):
             views, statics_cache=self._index_statics_cache, stats=stats
         )
         self.last_selection_stats = stats
+        self.last_index = index
         for pod in pending:
             if not index.can_ever_fit(pod):
                 outcome.unschedulable.append(pod)
                 continue
             had_candidates, chosen = self._select_indexed(pod, index)
             if not had_candidates:
-                outcome.deferred.append(pod)
+                outcome.defer(pod, self._wait_reason_indexed(pod, index))
                 if self.strict_fcfs:
                     remaining = list(pending)
                     tail = remaining[remaining.index(pod) + 1:]
-                    outcome.deferred.extend(tail)
+                    for blocked in tail:
+                        outcome.defer(blocked, "head_of_line")
                     break
                 continue
             if chosen is None:
-                outcome.deferred.append(pod)
+                outcome.defer(pod, self._wait_reason_indexed(pod, index))
                 continue
             if not pod.spec.resources.requests.fits_within(chosen.available):
                 raise SchedulingError(
@@ -511,7 +579,46 @@ class Scheduler(abc.ABC):
             outcome.assignments.append(
                 Assignment(pod=pod, node_name=chosen.name)
             )
+        stats.wait_reasons = dict(outcome.wait_reasons)
         return outcome
+
+    # -- deferral classification (observability, both paths) -------------
+
+    @staticmethod
+    def _wait_reason(pod: Pod, views: Sequence[NodeView]) -> str:
+        """Oracle-path deferral reason: scan the eligible views.
+
+        O(nodes) per deferral — the oracle pass is already linear in
+        the nodes for every pod, so classification does not change its
+        complexity.
+        """
+        cpu_max = memory_max = epc_max = -1
+        for view in views:
+            if pod.requires_sgx and not view.sgx_capable:
+                continue
+            available = view.available
+            if available.cpu_millicores > cpu_max:
+                cpu_max = available.cpu_millicores
+            if available.memory_bytes > memory_max:
+                memory_max = available.memory_bytes
+            if available.epc_pages > epc_max:
+                epc_max = available.epc_pages
+        return classify_wait(
+            pod.spec.resources.requests, cpu_max, memory_max, epc_max
+        )
+
+    @staticmethod
+    def _wait_reason_indexed(pod: Pod, index: NodeCandidateIndex) -> str:
+        """Indexed-path deferral reason, O(1) from the tree roots.
+
+        A group root holds the component-wise maxima of its members'
+        availability, which is exactly what the oracle's scan
+        computes — the two paths classify identically by construction.
+        """
+        cpu_max, memory_max, epc_max = index.availability_maxima(pod)
+        return classify_wait(
+            pod.spec.resources.requests, cpu_max, memory_max, epc_max
+        )
 
     def _select_indexed(
         self, pod: Pod, index: NodeCandidateIndex

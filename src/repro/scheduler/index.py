@@ -49,7 +49,7 @@ non-negative request ``r``.
 from __future__ import annotations
 
 from bisect import bisect_left, insort
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
     Dict,
@@ -97,6 +97,10 @@ class SelectionStats:
     score_cutoffs: int = 0
     #: Whether the membership statics were served from the cache.
     statics_reused: bool = False
+    #: Deferral reasons of the pass (copied from the outcome): why the
+    #: deferred pods waited, keyed by
+    #: :data:`repro.scheduler.base.WAIT_REASONS`.
+    wait_reasons: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -207,6 +211,15 @@ class _GroupIndex:
         """Provably no member can host *requests* right now (O(1))."""
         return not self._admits(self._tree[1], requests)
 
+    @property
+    def root(self) -> Tuple[int, int, int]:
+        """Component-wise availability maxima over the group (O(1)).
+
+        ``(-1, -1, -1)`` for an empty group — the padded-slot triple,
+        which admits nothing because requests are non-negative.
+        """
+        return self._tree[1]
+
     def first_fit(self, requests: ResourceVector) -> Optional["NodeView"]:
         """The first member in name order *requests* fits on.
 
@@ -282,7 +295,14 @@ class _GroupIndex:
     # -- incremental maintenance -----------------------------------------
 
     def note_reserved(self, view: "NodeView") -> None:
-        """Refresh this member's index entries after a reservation."""
+        """Refresh this member's index entries after a reservation.
+
+        The refresh recomputes the leaf from the view, so it is
+        direction-agnostic: an eviction (availability *increased*)
+        updates the same O(log members) leaf path and the same load
+        slot — :meth:`note_released` below is the readable alias the
+        preemption step calls.
+        """
         node = self._leaf_base + self._slot[view.name]
         tree = self._tree
         tree[node] = self._avail_of(view)
@@ -301,6 +321,10 @@ class _GroupIndex:
         del self._by_load[position]
         insort(self._by_load, (new, view.name))
         self._load_of[view.name] = new
+
+    def note_released(self, view: "NodeView") -> None:
+        """Refresh this member's entries after an in-pass eviction."""
+        self.note_reserved(view)
 
 
 class NodeCandidateIndex:
@@ -366,6 +390,20 @@ class NodeCandidateIndex:
     def position_of(self, view: "NodeView") -> int:
         """This view's index in the pass's input order."""
         return self._statics.position[view.name]
+
+    def availability_maxima(self, pod: Pod) -> Tuple[int, int, int]:
+        """Per-dimension free maxima over *pod*'s eligible nodes, O(1).
+
+        Straight off the group roots: the SGX group's for enclave
+        pods, the component-wise merge of both groups' for standard
+        pods.  Equals what a linear scan of the eligible views'
+        ``available`` vectors would report (-1 per dimension when no
+        node is eligible), which is how the oracle's deferral
+        classifier computes the same answer.
+        """
+        if pod.requires_sgx:
+            return self.sgx.root
+        return _GroupIndex._merge(self.non_sgx.root, self.sgx.root)
 
     def group_sequence(self, pod: Pod, preserve: bool):
         """The groups to try, in the paper's preference order.
@@ -474,3 +512,14 @@ class NodeCandidateIndex:
             self._loads[self.position_of(view)] = (
                 view.used.dominant_finite_utilization(view.capacity)
             )
+
+    def note_released(self, view: "NodeView") -> None:
+        """Track an in-pass eviction on *view*: O(log n) un-placement.
+
+        The preemption step calls this after
+        :meth:`~repro.scheduler.base.NodeView.release` so the
+        availability trees, load order and load cache stay exact while
+        victims leave mid-pass — the same incremental discipline
+        placements follow, in the opposite direction.
+        """
+        self.note_reserved(view)

@@ -26,6 +26,9 @@ class EventKind(enum.Enum):
     LAUNCH_KILLED = "launch-killed"
     REJECTED = "rejected"
     REQUEUED = "requeued"
+    #: The preemption step killed this pod to place a higher-priority
+    #: one; its spec was resubmitted with the original submission time.
+    EVICTED = "evicted"
     STARTED = "started"
     COMPLETED = "completed"
     #: A rebalancer migration failed at restore; the pod's spec was

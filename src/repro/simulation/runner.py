@@ -44,9 +44,11 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-# Importing the strategy/workload *packages* (not just the modules the
-# runner itself touches) registers every built-in with the registries,
-# so a bare ``ReplayConfig(scheduler="spread")`` always resolves.
+# Importing the strategy/workload/policy *packages* (not just the
+# modules the runner itself touches) registers every built-in with the
+# registries, so a bare ``ReplayConfig(scheduler="spread")`` always
+# resolves.
+from .. import policy as _policy_builtins  # noqa: F401
 from .. import scheduler as _scheduler_builtins  # noqa: F401
 from .. import workload as _workload_builtins  # noqa: F401
 from ..cluster.topology import paper_cluster
@@ -55,10 +57,16 @@ from ..constants import (
     METRICS_PUSH_PERIOD_SECONDS,
     SCHEDULER_PERIOD_SECONDS,
 )
-from ..errors import RegistryError, SimulationError
+from ..errors import PolicyError, RegistryError, SimulationError
 from ..orchestrator.controller import Orchestrator
 from ..orchestrator.pod import Pod
-from ..registry import SCHEDULERS, WORKLOADS
+from ..policy.classes import (
+    DEFAULT_PREEMPTION_THRESHOLD,
+    priority_class_map,
+    resolve_priority,
+)
+from ..policy.preemption import PreemptionPolicy
+from ..registry import PREEMPTION_POLICIES, SCHEDULERS, WORKLOADS
 from ..scheduler.base import Scheduler
 from ..scheduler.rebalancer import EpcRebalancer
 from ..sgx.perf import SgxPerfModel
@@ -191,11 +199,25 @@ class ReplayConfig:
     #: Extra keyword arguments for the scheduler factory, for plugin
     #: strategies with knobs beyond the standard four toggles.
     scheduler_options: OptionItems = ()
+    #: Extra priority classes (name -> int) overlaid on the built-in
+    #: tiers; workload ``priority`` options given as names resolve
+    #: against the merged catalogue.
+    priority_classes: OptionItems = ()
+    #: Preemption planner (any name in
+    #: ``repro.registry.PREEMPTION_POLICIES``).  The default ``none``
+    #: keeps the paper's strictly non-preemptive scheduling:
+    #: priority-disabled replays are bit-for-bit identical to the
+    #: pre-policy engine across all three scheduling modes.
+    preemption_policy: str = "none"
+    #: Deferred pods at or above this priority consult the planner.
+    preemption_priority_threshold: int = DEFAULT_PREEMPTION_THRESHOLD
 
     def __post_init__(self):
         # Accept plain dicts for the option fields; store sorted items
         # so the config stays frozen, hashable and picklable.
-        for option_field in ("workload_options", "scheduler_options"):
+        for option_field in (
+            "workload_options", "scheduler_options", "priority_classes",
+        ):
             value = getattr(self, option_field)
             if not isinstance(value, tuple):
                 object.__setattr__(
@@ -215,6 +237,25 @@ class ReplayConfig:
             raise SimulationError(
                 f"unknown workload {self.workload!r}; known: {known}"
             )
+        if self.preemption_policy not in PREEMPTION_POLICIES:
+            known = ", ".join(PREEMPTION_POLICIES.names())
+            raise SimulationError(
+                f"unknown preemption policy {self.preemption_policy!r}; "
+                f"known: {known}"
+            )
+        if not isinstance(
+            self.preemption_priority_threshold, int
+        ) or isinstance(self.preemption_priority_threshold, bool):
+            raise SimulationError(
+                "preemption_priority_threshold must be an int: "
+                f"{self.preemption_priority_threshold!r}"
+            )
+        try:
+            # Validates names and values; the merged catalogue itself
+            # is rebuilt where it is used.
+            priority_class_map(self.priority_classes)
+        except PolicyError as exc:
+            raise SimulationError(str(exc)) from None
         if self.malicious is not None and self.workload == "malicious":
             raise SimulationError(
                 "workload='malicious' already deploys the squatters; "
@@ -291,6 +332,14 @@ class ReplayResult:
     passes_executed: int = 0
     #: Wake-ups proven clean and skipped (0 in periodic mode).
     passes_skipped: int = 0
+    #: Pods placed by evicting victims (0 under the ``none`` policy).
+    preemption_count: int = 0
+    #: Victims killed (and resubmitted) by the preemption step.
+    eviction_count: int = 0
+    #: Aggregate deferral reasons over executed passes, keyed by
+    #: :data:`repro.scheduler.base.WAIT_REASONS` — why pods waited
+    #: (EPC vs memory vs CPU vs fragmentation), not just how long.
+    wait_reasons: Dict[str, int] = field(default_factory=dict)
 
 
 def make_scheduler(config: ReplayConfig) -> Scheduler:
@@ -314,6 +363,41 @@ def make_scheduler(config: ReplayConfig) -> Scheduler:
         indexed=config.indexed_scheduling,
         **dict(config.scheduler_options),
     )
+
+
+def make_preemption_policy(config: ReplayConfig) -> PreemptionPolicy:
+    """Instantiate the planner named by *config* via the registry."""
+    try:
+        factory = PREEMPTION_POLICIES.get(config.preemption_policy)
+    except RegistryError as exc:
+        # Unreachable through a validated config; see make_scheduler.
+        raise SimulationError(str(exc)) from exc
+    return factory()
+
+
+#: Workload-option keys whose string values name a priority class.
+_PRIORITY_OPTION_KEYS = ("priority", "high_priority", "low_priority")
+
+
+def resolve_workload_priorities(
+    options: Dict[str, object], classes: Dict[str, int]
+) -> Dict[str, object]:
+    """Resolve priority-class *names* in workload options to integers.
+
+    Lets a scenario say ``workload_options={"priority":
+    "latency-critical"}`` and have the catalogue (built-ins plus the
+    config's ``priority_classes``) supply the value.  Unknown names
+    die here, before any replay work happens.
+    """
+    resolved = dict(options)
+    for key in _PRIORITY_OPTION_KEYS:
+        value = resolved.get(key)
+        if isinstance(value, str):
+            try:
+                resolved[key] = resolve_priority(value, classes)
+            except PolicyError as exc:
+                raise SimulationError(str(exc)) from None
+    return resolved
 
 
 class _RunningJob:
@@ -359,6 +443,10 @@ class _Replay:
             perf_model=self.perf,
             use_state_cache=config.use_state_cache,
             requeue_backoff_seconds=config.requeue_backoff_seconds,
+            preemption_policy=make_preemption_policy(config),
+            preemption_priority_threshold=(
+                config.preemption_priority_threshold
+            ),
         )
         self.scheduler = make_scheduler(config)
         self.engine = SimulationEngine()
@@ -373,7 +461,10 @@ class _Replay:
             sgx_fraction=config.sgx_fraction,
             seed=config.seed,
             scheduler_name=self.scheduler.name,
-            **dict(config.workload_options),
+            **resolve_workload_priorities(
+                dict(config.workload_options),
+                priority_class_map(config.priority_classes),
+            ),
         )
         if config.malicious is not None:
             self.plans = (
@@ -392,6 +483,11 @@ class _Replay:
         self.migration_count = 0
         self.passes_executed = 0
         self.passes_skipped = 0
+        self.preemption_count = 0
+        self.eviction_count = 0
+        #: Aggregate deferral reasons over every executed pass, keyed
+        #: by :data:`repro.scheduler.base.WAIT_REASONS`.
+        self.wait_reasons: Dict[str, int] = {}
 
     # -- activity tracking -------------------------------------------------
 
@@ -497,6 +593,33 @@ class _Replay:
             )
         for pod in result.requeued:
             self.log.record(now, EventKind.REQUEUED, pod_name=pod.name)
+        for victim, replacement in result.evicted:
+            # The preemption step killed the victim mid-pass; purge its
+            # running-job entry (and dangling finish event) exactly
+            # like a failed migration, keyed by uid because the
+            # replacement reuses the spec name.
+            job = self.running.pop(victim.uid, None)
+            if job is not None and job.finish_handle is not None:
+                job.finish_handle.cancel()
+            self.log.record(
+                now,
+                EventKind.EVICTED,
+                pod_name=victim.name,
+                node_name=victim.node_name,
+                detail=victim.failure_reason or "",
+            )
+            self.log.record(
+                now,
+                EventKind.SUBMITTED,
+                pod_name=replacement.name,
+                detail="resubmitted after eviction",
+            )
+        self.eviction_count += len(result.evicted)
+        self.preemption_count += result.preemptions
+        for reason, count in result.wait_reasons.items():
+            self.wait_reasons[reason] = (
+                self.wait_reasons.get(reason, 0) + count
+            )
         # Admissions changed EPC occupancy; refresh running-job rates.
         self._reschedule_all_nodes(now)
         self._sample_queue(now)
@@ -724,6 +847,9 @@ class _Replay:
             migration_count=self.migration_count,
             passes_executed=self.passes_executed,
             passes_skipped=self.passes_skipped,
+            preemption_count=self.preemption_count,
+            eviction_count=self.eviction_count,
+            wait_reasons=dict(self.wait_reasons),
         )
 
 

@@ -14,6 +14,7 @@ from .malicious import (
     malicious_plans,
     malicious_submissions,
 )
+from .priority import priority_mix_plans
 from .stress import (
     EpcStressor,
     SubmissionPlan,
@@ -33,5 +34,6 @@ __all__ = [
     "malicious_plans",
     "malicious_submissions",
     "materialize_trace",
+    "priority_mix_plans",
     "stress_plans",
 ]

@@ -114,6 +114,7 @@ def materialize_trace(
     scheduler_name: str = DEFAULT_SCHEDULER,
     standard_multiplier_bytes: int = STANDARD_MEMORY_MULTIPLIER_BYTES,
     sgx_multiplier_bytes: int = SGX_MEMORY_MULTIPLIER_BYTES,
+    priority: int = 0,
 ) -> List[SubmissionPlan]:
     """Turn a scaled trace into timed pod submissions.
 
@@ -121,6 +122,9 @@ def materialize_trace(
     count) become EPC-stressor pods; the rest are VM-stressor pods.
     Declared requests come from the job's *assigned* fraction, the
     stressor's actual allocation from its *max usage* fraction.
+    ``priority`` stamps every pod with one scheduling tier (scenarios
+    may pass a class name; the engine resolves it to the integer
+    before it reaches here).
     """
     if not 0.0 <= sgx_fraction <= 1.0:
         raise TraceError(f"sgx fraction outside [0, 1]: {sgx_fraction}")
@@ -161,6 +165,7 @@ def materialize_trace(
             scheduler_name=scheduler_name,
             workload=stressor_profile,
             labels={"origin": "borg-trace", "job_id": str(job.job_id)},
+            priority=priority,
         )
         plans.append(
             SubmissionPlan(

@@ -1,6 +1,8 @@
-"""FCFS pending queue semantics."""
+"""FCFS pending queue semantics (priority tiers, FCFS within each)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster.resources import ResourceVector
 from repro.errors import OrchestrationError
@@ -10,12 +12,15 @@ from repro.orchestrator.queue import PendingQueue
 from repro.units import gib
 
 
-def make_pod(name: str, submitted_at: float, epc=0, mem=0) -> Pod:
+def make_pod(
+    name: str, submitted_at: float, epc=0, mem=0, priority=0
+) -> Pod:
     spec = PodSpec(
         name=name,
         resources=ResourceRequirements(
             requests=ResourceVector(memory_bytes=mem, epc_pages=epc)
         ),
+        priority=priority,
     )
     return Pod(spec, submitted_at=submitted_at)
 
@@ -65,6 +70,101 @@ class TestMembership:
         queue.push(pod)
         assert pod in queue
         assert len(queue) == 1
+
+
+class TestPriorityTiers:
+    def test_higher_tier_first_fcfs_within(self):
+        queue = PendingQueue()
+        queue.push(make_pod("low-old", 1.0, priority=0))
+        queue.push(make_pod("high-young", 5.0, priority=100))
+        queue.push(make_pod("low-young", 3.0, priority=0))
+        queue.push(make_pod("high-old", 4.0, priority=100))
+        assert [p.name for p in queue] == [
+            "high-old", "high-young", "low-old", "low-young",
+        ]
+
+    def test_default_priority_preserves_pure_fcfs(self):
+        # Every pod at the default 0: ordering collapses to the
+        # pre-policy (submitted_at, uid) key.
+        queue = PendingQueue()
+        pods = [make_pod(f"p{i}", float(i)) for i in range(5)]
+        for pod in pods:
+            queue.push(pod)
+        assert [p.name for p in queue] == [p.name for p in pods]
+
+    def test_evicted_pod_resubmission_regains_tier_slot(self):
+        # The eviction path resubmits a victim's *spec* with the
+        # original submitted_at; the replacement must sort exactly
+        # where the victim did, not at its tier's tail.
+        queue = PendingQueue()
+        victim = make_pod("victim", 1.0, priority=10)
+        queue.push(make_pod("peer-young", 2.0, priority=10))
+        replacement = Pod(victim.spec, submitted_at=victim.submitted_at)
+        queue.push(replacement)
+        assert [p.name for p in queue] == ["victim", "peer-young"]
+
+
+class TestRequeueBoundary:
+    def test_ready_at_equal_to_now_is_visible(self):
+        # Off-by-one guard: a requeued pod whose backoff expires at
+        # exactly `now` is eligible — `ready_at <= now`, not `<`.
+        queue = PendingQueue(requeue_backoff_seconds=10.0)
+        pod = make_pod("p", 0.0)
+        queue.push(pod)
+        queue.remove(pod)
+        ready_at = queue.requeue(pod, now=5.0)
+        assert ready_at == 15.0
+        assert queue.snapshot(14.999) == []
+        assert queue.ready_count(14.999) == 0
+        assert queue.snapshot(15.0) == [pod]
+        assert queue.ready_count(15.0) == 1
+        assert queue.next_ready_at(15.0) is None
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["push", "requeue", "pop"]),
+                st.integers(min_value=0, max_value=3),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_requeue_preserves_fcfs_order(self, ops):
+        """Interleaved push/requeue/pop never reorders the queue.
+
+        The model is simply "the queue equals its pods sorted by
+        (-priority, submitted_at, uid)"; a requeue (backoff 0, as in
+        the paper) must put the pod straight back into that order, so
+        the oldest pod can never starve behind younger ones.
+        """
+        queue = PendingQueue()
+        clock = 0.0
+        counter = 0
+        live = []
+        for op, priority_index in ops:
+            clock += 1.0
+            priority = (0, 0, 10, 100)[priority_index]
+            if op == "push":
+                pod = make_pod(
+                    f"pod-{counter}", clock, priority=priority
+                )
+                counter += 1
+                queue.push(pod)
+                live.append(pod)
+            elif op == "requeue" and live:
+                pod = live[priority_index % len(live)]
+                queue.remove(pod)
+                queue.requeue(pod, now=clock)
+            elif op == "pop" and live:
+                pod = queue.snapshot(clock)[0]
+                queue.remove(pod)
+                live.remove(pod)
+            expected = sorted(
+                live,
+                key=lambda p: (-p.spec.priority, p.submitted_at, p.uid),
+            )
+            assert queue.snapshot(clock) == expected
 
 
 class TestAggregates:

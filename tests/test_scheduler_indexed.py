@@ -166,6 +166,11 @@ class TestPassEquivalence:
         stats = indexed.last_selection_stats
         assert stats is not None and stats.pods == len(pods)
         assert stats.placements == len(indexed_outcome.assignments)
+        # Deferral classification agrees: the oracle's linear scan and
+        # the index's O(1) tree-root maxima name the same binding
+        # dimension for every deferred pod.
+        assert indexed_outcome.wait_reasons == oracle_outcome.wait_reasons
+        assert stats.wait_reasons == indexed_outcome.wait_reasons
 
     @settings(max_examples=60, deadline=None)
     @given(
@@ -412,3 +417,87 @@ class TestReplayEquivalence:
         a = replay_trace(small_trace, config)
         b = replay_trace(small_trace, config)
         assert pod_signature(a) == pod_signature(b)
+
+
+class TestUnplacement:
+    """O(log n) un-placement: the preemption step's index updates."""
+
+    def _sgx_views(self):
+        return [
+            make_view(f"sgx-{i}", sgx=True, epc=4096) for i in range(4)
+        ]
+
+    def test_note_released_restores_first_fit(self):
+        views = self._sgx_views()
+        index = NodeCandidateIndex(views)
+        pod = make_pod("enclave", epc=4096)
+        big = ResourceVector(epc_pages=4096)
+        # Saturate the first two nodes in name order.
+        for view in views[:2]:
+            view.reserve(big)
+            index.note_reserved(view)
+        assert index.first_fit(pod, True).name == "sgx-2"
+        # Evict from sgx-0: first fit must return to it.
+        views[0].release(big)
+        index.note_released(views[0])
+        assert index.first_fit(pod, True).name == "sgx-0"
+
+    def test_released_index_equals_freshly_built(self):
+        views = self._sgx_views()
+        index = NodeCandidateIndex(views)
+        delta = ResourceVector(epc_pages=1000)
+        for view in views:
+            view.reserve(delta)
+            index.note_reserved(view)
+        views[2].release(delta)
+        index.note_released(views[2])
+        fresh = NodeCandidateIndex(clone_views(views))
+        pod = make_pod("probe", epc=3500)
+        assert index.sgx.root == fresh.sgx.root
+        assert (
+            index.first_fit(pod, True).name
+            == fresh.first_fit(pod, True).name
+        )
+        assert [v.name for v in index.candidates(pod, True)] == [
+            v.name for v in fresh.candidates(pod, True)
+        ]
+
+    def test_release_updates_load_order(self):
+        views = self._sgx_views()
+        index = NodeCandidateIndex(views)
+        delta = ResourceVector(epc_pages=2048)
+        views[0].reserve(delta)
+        index.note_reserved(views[0])
+        by_load = [name for _, v in index.sgx.iter_by_load()
+                   for name in [v.name]]
+        assert by_load[-1] == "sgx-0"
+        views[0].release(delta)
+        index.note_released(views[0])
+        loads = dict(
+            (v.name, load) for load, v in index.sgx.iter_by_load()
+        )
+        assert loads["sgx-0"] == 0.0
+
+    def test_availability_maxima_matches_linear_scan(self):
+        views = [
+            make_view("std-0", mem=gib(64)),
+            make_view("sgx-0", sgx=True, mem=gib(8), epc=4096),
+            make_view("sgx-1", sgx=True, mem=gib(8), epc=4096),
+        ]
+        views[1].reserve(ResourceVector(epc_pages=3000))
+        index = NodeCandidateIndex(views)
+        sgx_pod = make_pod("enclave", epc=1)
+        std_pod = make_pod("standard", mem=1)
+
+        def scan(requires_sgx):
+            eligible = [
+                v for v in views if v.sgx_capable or not requires_sgx
+            ]
+            return (
+                max(v.available.cpu_millicores for v in eligible),
+                max(v.available.memory_bytes for v in eligible),
+                max(v.available.epc_pages for v in eligible),
+            )
+
+        assert index.availability_maxima(sgx_pod) == scan(True)
+        assert index.availability_maxima(std_pod) == scan(False)
