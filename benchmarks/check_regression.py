@@ -11,7 +11,12 @@ metric against the matching row of the committed ``BENCH_*.json``:
 * ``preemption``   — ``p50_reduction`` (high-priority-tier waiting
   time, non-preemptive vs ``cheapest-victims``), with the
   ``disabled_identical`` flag proving priority-disabled runs stay
-  bit-for-bit the oracle across engines.
+  bit-for-bit the oracle across engines;
+* ``wall``         — ``speedup`` (whole-replay wall clock vs the
+  pre-refactor baselines), with the ``engines_identical``
+  cross-engine identity flag.  Unlike the advisory sweeps this gate
+  runs as a *required* CI job: the hot-path rebuild's headline must
+  not silently erode.
 
 Baselines come in two shapes, both accepted: the legacy
 ``{"benchmark": ..., "results": [...]}`` reports and the scenario
@@ -76,6 +81,12 @@ GATES = {
         ("pods",),
         "disabled_identical",
     ),
+    "wall": (
+        "BENCH_wall.json",
+        "speedup",
+        ("pods",),
+        "engines_identical",
+    ),
 }
 
 
@@ -119,6 +130,12 @@ def fresh_reports(names, quick: bool) -> dict:
                 sizes=(1000,)
                 if quick
                 else run_bench.PREEMPTION_SIZES
+            )
+        elif name == "wall":
+            # Quick mode keeps the smallest size; a hot-path fallback
+            # to an allocation-heavy layout shows up at any scale.
+            reports[name] = run_bench.run_wall(
+                sizes=(250,) if quick else (250, 1000, 2000)
             )
         elif name == "api_sweep":
             # Quick mode halves the grid and pool but keeps the trace

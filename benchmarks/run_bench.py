@@ -1,8 +1,9 @@
 """Benchmark runner: emits ``BENCH_state_cache.json``,
 ``BENCH_event_sched.json``, ``BENCH_sched_scale.json``,
-``BENCH_api_sweep.json`` and ``BENCH_preemption.json``.
+``BENCH_api_sweep.json``, ``BENCH_preemption.json`` and
+``BENCH_wall.json``.
 
-Five sweeps over the scheduling hot path:
+Six sweeps over the scheduling hot path:
 
 * **state_cache** — the scheduler's per-pass snapshot latency (the two
   Listing-1 sliding-window queries behind
@@ -30,7 +31,13 @@ Five sweeps over the scheduling hot path:
   p50/mean waiting-time reduction and the eviction counts — plus a
   ``disabled_identical`` flag proving the priority-disabled run is
   bit-for-bit the oracle across the periodic, event-driven and
-  indexed engines.
+  indexed engines;
+* **wall** — whole-replay wall clock at 250–2000 pods for all three
+  engines, reported as a speedup against the hard-coded pre-refactor
+  baselines (:data:`WALL_BASELINES`, measured at the seed commit of
+  the hot-path rebuild), with an ``engines_identical`` flag comparing
+  pod lifecycles, makespan and the queue series across the periodic,
+  event-driven and indexed runs.
 
 Run from the repo root::
 
@@ -544,6 +551,109 @@ def run_preemption(sizes=PREEMPTION_SIZES) -> dict:
     }
 
 
+#: Pre-refactor whole-replay wall clock in seconds, measured on the
+#: reference machine immediately before the hot-path rebuild (tuple
+#: heap, slotted layouts, lean scheduler loops, TSDB write diet).  The
+#: keys are trace sizes of :func:`wall_config`; the values are
+#: per-engine timings of the identical scenarios.  ``speedup`` in the
+#: wall report is the periodic baseline over the fresh periodic wall:
+#: machine-dependent in absolute terms, which is why the regression
+#: gate compares it against the *committed* BENCH_wall.json row with a
+#: generous tolerance rather than against these constants directly.
+WALL_BASELINES = {
+    250: {"periodic": 0.304, "event": 0.281, "indexed": 0.307},
+    1000: {"periodic": 1.497, "event": 1.545, "indexed": 1.526},
+    2000: {"periodic": 3.966, "event": 3.914, "indexed": 4.045},
+}
+
+
+def wall_config(
+    n_pods: int, event_driven: bool = False, indexed: bool = False
+) -> Scenario:
+    """One engine variant of the wall sweep (sans trace).
+
+    Identical shape to :func:`event_sched_config` — the wall sweep
+    times the same scenarios the equivalence sweep verifies — plus the
+    indexed-batch engine as a third variant.
+    """
+    workers = max(2, n_pods // 125)
+    return Scenario(
+        scheduler="binpack",
+        sgx_fraction=SGX_FRACTION,
+        seed=1,
+        event_driven=event_driven,
+        indexed_scheduling=indexed,
+        scheduler_period=EVENT_SCHED_PERIOD_SECONDS,
+        standard_workers=workers,
+        sgx_workers=workers,
+    )
+
+
+def run_wall(sizes=(250, 1000, 2000), repeats=1) -> dict:
+    """Whole-replay wall clock per engine vs pre-refactor baselines."""
+    results = []
+    for n_pods in sizes:
+        trace = synthetic_scaled_trace(
+            seed=7, n_jobs=n_pods, overallocators=n_pods // 10
+        )
+        walls = {}
+        runs = {}
+        for engine, kwargs in (
+            ("periodic", {}),
+            ("event", {"event_driven": True}),
+            ("indexed", {"indexed": True}),
+        ):
+            scenario = wall_config(n_pods, **kwargs).with_(trace=trace)
+            best = None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                result = scenario.run()
+                elapsed = time.perf_counter() - start
+                if best is None or elapsed < best:
+                    best = elapsed
+                runs[engine] = result
+            walls[engine] = best
+        periodic, event, indexed = (
+            runs["periodic"], runs["event"], runs["indexed"]
+        )
+        # The cross-engine identity the replay layers must preserve:
+        # pod lifecycles, makespan and the queue series.  Pass/skip
+        # counters legitimately differ between periodic and
+        # event-driven engines, but the indexed engine must match the
+        # periodic oracle on the *full* signature.
+        engines_identical = (
+            event.pod_signature() == periodic.pod_signature()
+            and event.metrics.makespan_seconds
+            == periodic.metrics.makespan_seconds
+            and tuple(event.metrics.queue_series)
+            == tuple(periodic.metrics.queue_series)
+            and indexed.signature() == periodic.signature()
+        )
+        baseline = WALL_BASELINES.get(n_pods)
+        row = {
+            "pods": n_pods,
+            "periodic_wall_s": round(walls["periodic"], 3),
+            "event_wall_s": round(walls["event"], 3),
+            "indexed_wall_s": round(walls["indexed"], 3),
+            "engines_identical": engines_identical,
+        }
+        if baseline is not None:
+            row["baseline_periodic_s"] = baseline["periodic"]
+            row["baseline_event_s"] = baseline["event"]
+            row["baseline_indexed_s"] = baseline["indexed"]
+            row["speedup"] = round(
+                baseline["periodic"] / walls["periodic"], 2
+            )
+        results.append(row)
+    return {
+        "benchmark": "wall",
+        "sgx_fraction": SGX_FRACTION,
+        "scheduler_period_seconds": EVENT_SCHED_PERIOD_SECONDS,
+        "baseline": "pre-refactor seed (see WALL_BASELINES)",
+        "results": results,
+    }
+
+
 def main() -> None:
     report = run()
     out_path = Path(__file__).resolve().parent.parent / (
@@ -625,6 +735,22 @@ def main() -> None:
             f"disabled_identical={row['disabled_identical']}"
         )
     print(f"wrote {preemption_path}")
+
+    wall_report = run_wall()
+    wall_path = Path(__file__).resolve().parent.parent / (
+        "BENCH_wall.json"
+    )
+    wall_path.write_text(json.dumps(wall_report, indent=2) + "\n")
+    for row in wall_report["results"]:
+        print(
+            f"{row['pods']:>6} pods: periodic {row['periodic_wall_s']:.2f} s  "
+            f"event {row['event_wall_s']:.2f} s  "
+            f"indexed {row['indexed_wall_s']:.2f} s  "
+            f"(baseline {row.get('baseline_periodic_s', '-')} s, "
+            f"speedup {row.get('speedup', '-')}x, "
+            f"identical={row['engines_identical']})"
+        )
+    print(f"wrote {wall_path}")
 
 
 if __name__ == "__main__":

@@ -7,17 +7,22 @@ Usage::
     python -m repro all
     python -m repro run --scheduler spread --sgx-fraction 0.5 [--json]
     python -m repro sweep --grid sgx_fraction=0,0.5,1 --workers 4
+    python -m repro profile --jobs 1000 --top 30 --collapsed-out out.txt
 
 The figure commands regenerate the paper's evaluation tables; ``run``
 and ``sweep`` execute ad-hoc scenarios through :mod:`repro.api`, with
-the same row formatter behind the table and ``--json`` output.  Exit
-status is 0 on success, 2 on usage errors (including unknown
-scheduler/workload/grid-field names, which die before anything runs).
+the same row formatter behind the table and ``--json`` output.
+``profile`` runs one scenario under the profiling harness
+(:mod:`repro.profiling`) and prints the top-frame table, optionally
+writing flame-graph-compatible collapsed stacks.  Exit status is 0 on
+success, 2 on usage errors (including unknown scheduler/workload/
+grid-field names, which die before anything runs).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -36,6 +41,11 @@ from .experiments.fig6_startup import format_fig6, run_fig6
 from .experiments.fig7_epc_sizes import format_fig7, run_fig7
 from .experiments.fig8_waiting_cdf import format_fig8, run_fig8
 from .experiments.fig9_strategies import format_fig9, run_fig9
+from .profiling import (
+    DEFAULT_SAMPLE_INTERVAL,
+    DEFAULT_TOP,
+    profile_scenario,
+)
 from .units import mib
 
 #: name -> (description, needs_trace, run, format)
@@ -285,6 +295,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="process-pool size executing the sweep (default serial)",
     )
+    profile_parser = subparsers.add_parser(
+        "profile",
+        parents=[scenario_flags],
+        help="profile one scenario: top frames + collapsed stacks",
+    )
+    profile_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shorthand for --cluster-workers (as on run)",
+    )
+    profile_parser.add_argument(
+        "--top",
+        type=int,
+        default=DEFAULT_TOP,
+        help="frames kept in the tottime table (default %(default)s)",
+    )
+    profile_parser.add_argument(
+        "--sample-interval",
+        type=float,
+        default=DEFAULT_SAMPLE_INTERVAL,
+        help="stack-sampling period in seconds; 0 disables sampling "
+        "(default %(default)s)",
+    )
+    profile_parser.add_argument(
+        "--collapsed-out",
+        metavar="PATH",
+        default=None,
+        help="write flamegraph.pl-compatible collapsed stacks here",
+    )
     return parser
 
 
@@ -361,9 +401,10 @@ def _base_scenario(args: argparse.Namespace) -> Scenario:
     if args.epc_mib is not None:
         kwargs["epc_total_bytes"] = int(mib(args.epc_mib))
     cluster_workers = args.cluster_workers
-    if cluster_workers is None and args.command == "run":
-        # ``repro run --workers`` is the documented shorthand; on
-        # sweep, --workers is the process-pool size instead.
+    if cluster_workers is None and args.command in ("run", "profile"):
+        # ``repro run --workers`` is the documented shorthand (and
+        # ``profile`` mirrors ``run``); on sweep, --workers is the
+        # process-pool size instead.
         cluster_workers = getattr(args, "workers", None)
     if cluster_workers is not None:
         kwargs["standard_workers"] = cluster_workers
@@ -380,6 +421,46 @@ def _cmd_run(
         parser.error(str(exc))
     result = scenario.run()
     print(result.to_json() if args.json else result.to_table())
+    return 0
+
+
+def _cmd_profile(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    try:
+        scenario = _base_scenario(args)
+        if args.top < 1:
+            raise SimulationError(
+                f"--top must be a positive integer: {args.top}"
+            )
+        if args.sample_interval < 0:
+            raise SimulationError(
+                f"--sample-interval must be >= 0: {args.sample_interval}"
+            )
+    except (SimulationError, RegistryError, TypeError, ValueError) as exc:
+        parser.error(str(exc))
+    result, report = profile_scenario(
+        scenario, top=args.top, sample_interval=args.sample_interval
+    )
+    if args.collapsed_out is not None:
+        report.write_collapsed(args.collapsed_out)
+    if args.json:
+        document = report.to_dict()
+        document["result"] = result.to_row()
+        print(json.dumps(document, indent=2))
+        return 0
+    print(result.to_table())
+    print()
+    print(
+        f"profiled wall time {report.wall_seconds:.3f}s "
+        f"({report.total_calls} calls, {report.sample_count} stack "
+        f"samples)"
+    )
+    print()
+    print(report.top_table())
+    if args.collapsed_out is not None:
+        print()
+        print(f"collapsed stacks written to {args.collapsed_out}")
     return 0
 
 
@@ -423,6 +504,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:{width}s}  {_FIGURES[name][0]}")
         print(f"{'run':{width}s}  one scenario from flags (repro.api)")
         print(f"{'sweep':{width}s}  a parallel grid of scenarios")
+        print(
+            f"{'profile':{width}s}  profile one scenario "
+            f"(top frames + collapsed stacks)"
+        )
         return 0
     if args.command == "all":
         seeds = (args.trace_seed, args.run_seed)
@@ -433,6 +518,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args, parser)
     if args.command == "sweep":
         return _cmd_sweep(args, parser)
+    if args.command == "profile":
+        return _cmd_profile(args, parser)
     _run_one(args.command, (args.trace_seed, args.run_seed))
     return 0
 

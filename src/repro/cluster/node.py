@@ -100,6 +100,14 @@ class Node:
         else:
             self.epc = None
             self.driver = None
+        # Hardware never changes after construction, so the capacity
+        # vector is built once; the scheduler reads it on every view
+        # build of every pass (it is immutable, sharing is safe).
+        self._capacity = ResourceVector(
+            cpu_millicores=spec.cpus * 1000,
+            memory_bytes=spec.memory_bytes,
+            epc_pages=self.epc.total_pages if self.epc is not None else 0,
+        )
 
     @property
     def name(self) -> str:
@@ -120,11 +128,7 @@ class Node:
         EPC capacity is the *usable* page count the device plugin exposes
         as individual resource items (Section V-A).
         """
-        return ResourceVector(
-            cpu_millicores=self.spec.cpus * 1000,
-            memory_bytes=self.spec.memory_bytes,
-            epc_pages=self.epc.total_pages if self.epc is not None else 0,
-        )
+        return self._capacity
 
     # -- process lifecycle ---------------------------------------------------
 
@@ -173,9 +177,16 @@ class Node:
     def cgroup_memory_bytes(self, cgroup_path: str) -> int:
         """Resident standard memory of one cgroup subtree."""
         group = self.cgroups.get(cgroup_path)
-        return sum(
-            self._process_memory.get(pid, 0) for pid in group.all_pids()
-        )
+        memory = self._process_memory
+        if not group.children:
+            # Pod cgroups are leaves: their subtree pid set is their
+            # own, so the walk/union of ``all_pids`` is skipped on the
+            # per-pod-per-probe-tick path.
+            total = 0
+            for pid in group.pids:
+                total += memory.get(pid, 0)
+            return total
+        return sum(memory.get(pid, 0) for pid in group.all_pids())
 
     def used_epc_pages(self) -> int:
         """EPC pages currently allocated on this node (0 if non-SGX)."""

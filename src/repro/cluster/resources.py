@@ -16,7 +16,7 @@ from ..errors import ResourceError
 from ..units import fmt_bytes, pages_to_mib
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ResourceVector:
     """An immutable (cpu, memory, epc) triple.
 
@@ -40,19 +40,32 @@ class ResourceVector:
     @classmethod
     def zero(cls) -> "ResourceVector":
         """The additive identity."""
-        return cls(0, 0, 0)
+        return _ZERO
+
+    @classmethod
+    def _unchecked(
+        cls, cpu_millicores: int, memory_bytes: int, epc_pages: int
+    ) -> "ResourceVector":
+        """Construct without validation: arithmetic on vectors that are
+        already validated only ever combines ints, and the isinstance
+        sweep costs real time in per-candidate scheduler loops."""
+        vector = object.__new__(cls)
+        object.__setattr__(vector, "cpu_millicores", cpu_millicores)
+        object.__setattr__(vector, "memory_bytes", memory_bytes)
+        object.__setattr__(vector, "epc_pages", epc_pages)
+        return vector
 
     # -- arithmetic ----------------------------------------------------------
 
     def __add__(self, other: "ResourceVector") -> "ResourceVector":
-        return ResourceVector(
+        return ResourceVector._unchecked(
             self.cpu_millicores + other.cpu_millicores,
             self.memory_bytes + other.memory_bytes,
             self.epc_pages + other.epc_pages,
         )
 
     def __sub__(self, other: "ResourceVector") -> "ResourceVector":
-        return ResourceVector(
+        return ResourceVector._unchecked(
             self.cpu_millicores - other.cpu_millicores,
             self.memory_bytes - other.memory_bytes,
             self.epc_pages - other.epc_pages,
@@ -60,7 +73,7 @@ class ResourceVector:
 
     def clamp_floor(self) -> "ResourceVector":
         """Clamp all negative components to zero."""
-        return ResourceVector(
+        return ResourceVector._unchecked(
             max(0, self.cpu_millicores),
             max(0, self.memory_bytes),
             max(0, self.epc_pages),
@@ -160,3 +173,6 @@ class ResourceVector:
             f"mem={fmt_bytes(self.memory_bytes)}, "
             f"epc={self.epc_pages}p/{pages_to_mib(self.epc_pages):.1f}MiB)"
         )
+
+
+_ZERO = ResourceVector(0, 0, 0)

@@ -208,7 +208,17 @@ class WindowedAggregateCache:
             state.dirty = True
             self.content_version += 1
             return
-        key = (point.tag("nodename"), point.tag("pod_name"))
+        tags = point.tags
+        if (
+            len(tags) == 2
+            and tags[0][0] == "nodename"
+            and tags[1][0] == "pod_name"
+        ):
+            # The collectors' exact tag shape, pre-sorted: skip the
+            # two linear tag() scans on the per-write path.
+            key = (tags[0][1], tags[1][1])
+        else:
+            key = (point.tag("nodename"), point.tag("pod_name"))
         series = state.series.get(key)
         if series is None:
             series = _SeriesState()

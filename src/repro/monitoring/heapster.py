@@ -11,7 +11,7 @@ expects.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Protocol
+from typing import Dict, Iterable, List, Protocol, Tuple
 
 from .tsdb import TimeSeriesDatabase
 
@@ -19,7 +19,7 @@ from .tsdb import TimeSeriesDatabase
 MEASUREMENT_MEMORY = "memory/usage"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PodUsage:
     """One pod's measured usage of a resource on one node."""
 
@@ -42,6 +42,11 @@ class Heapster:
     def __init__(self, db: TimeSeriesDatabase):
         self.db = db
         self._sources: List[PodUsageSource] = []
+        # Sorted tag tuples keyed by (pod, node): each series' tags are
+        # built once instead of dict-sorted on every collection pass.
+        self._tag_cache: Dict[
+            Tuple[str, str], Tuple[Tuple[str, str], ...]
+        ] = {}
 
     def register(self, source: PodUsageSource) -> None:
         """Add a node-level usage source."""
@@ -67,16 +72,21 @@ class Heapster:
     def collect(self, now: float) -> int:
         """Poll every source once; returns the number of points written."""
         written = 0
+        tag_cache = self._tag_cache
+        write_tagged = self.db.write_tagged
         for source in self._sources:
             for usage in source.pod_memory_usage():
-                self.db.write(
-                    MEASUREMENT_MEMORY,
-                    value=usage.value,
-                    time=now,
-                    tags={
-                        "pod_name": usage.pod_name,
-                        "nodename": usage.node_name,
-                    },
+                key = (usage.pod_name, usage.node_name)
+                tags = tag_cache.get(key)
+                if tags is None:
+                    # Already in sorted order: "nodename" < "pod_name".
+                    tags = tag_cache[key] = (
+                        ("nodename", usage.node_name),
+                        ("pod_name", usage.pod_name),
+                    )
+                write_tagged(
+                    MEASUREMENT_MEMORY, value=usage.value, time=now,
+                    tags=tags,
                 )
                 written += 1
         return written

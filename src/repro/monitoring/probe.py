@@ -14,7 +14,7 @@ Values are written in **EPC pages**, the unit the whole accounting chain
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from ..sgx.driver import (
     PARAM_FREE_PAGES,
@@ -58,31 +58,44 @@ class SgxMetricsProbe:
         self.driver = driver
         self.db = db
         self.pod_name_resolver = pod_name_resolver
+        # Sorted tag tuples built once per pod (and once per gauge)
+        # instead of dict-sorted on every measurement pass.
+        self._pod_tags: Dict[str, Tuple[Tuple[str, str], ...]] = {}
+        self._gauge_tags = tuple(
+            (("gauge", label), ("nodename", node_name))
+            for label in ("total", "free")
+        )
 
     def collect(self, now: float) -> int:
         """Take one measurement pass; returns points written."""
         written = 0
         snapshot = self.driver.snapshot()
+        pod_tags = self._pod_tags
+        write_tagged = self.db.write_tagged
         for cgroup_path, pages in snapshot.usage_by_owner.items():
             pod_name = self.pod_name_resolver(cgroup_path)
             if pod_name is None:
                 continue
-            self.db.write(
-                MEASUREMENT_EPC,
-                value=float(pages),
-                time=now,
-                tags={"pod_name": pod_name, "nodename": self.node_name},
+            tags = pod_tags.get(pod_name)
+            if tags is None:
+                # Already in sorted order: "nodename" < "pod_name".
+                tags = pod_tags[pod_name] = (
+                    ("nodename", self.node_name),
+                    ("pod_name", pod_name),
+                )
+            write_tagged(
+                MEASUREMENT_EPC, value=float(pages), time=now, tags=tags
             )
             written += 1
-        for param, label in (
-            (PARAM_TOTAL_PAGES, "total"),
-            (PARAM_FREE_PAGES, "free"),
+        for param, tags in (
+            (PARAM_TOTAL_PAGES, self._gauge_tags[0]),
+            (PARAM_FREE_PAGES, self._gauge_tags[1]),
         ):
-            self.db.write(
+            write_tagged(
                 MEASUREMENT_EPC_NODE,
                 value=float(self.driver.read_parameter(param)),
                 time=now,
-                tags={"nodename": self.node_name, "gauge": label},
+                tags=tags,
             )
             written += 1
         return written

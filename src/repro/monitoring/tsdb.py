@@ -27,9 +27,16 @@ from typing import Dict, Iterable, List, Mapping, Optional, Protocol, Tuple
 from ..errors import MonitoringError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Point:
-    """One sample: a value at a time with identifying tags."""
+    """One sample: a value at a time with identifying tags.
+
+    ``tags`` is a sorted tuple of ``(key, value)`` pairs — the
+    normalised form :meth:`make` produces.  Collectors on the replay
+    hot path build these tuples once per series and hand them to
+    :meth:`TimeSeriesDatabase.write_tagged`, skipping the per-write
+    dict-sort of :meth:`make`.
+    """
 
     time: float
     value: float
@@ -59,7 +66,7 @@ class Point:
         return dict(self.tags)
 
 
-@dataclass
+@dataclass(slots=True)
 class _Series:
     """Points of one measurement, sorted by time."""
 
@@ -67,8 +74,16 @@ class _Series:
     points: List[Point] = field(default_factory=list)
 
     def insert(self, point: Point) -> None:
-        idx = bisect.bisect_right(self.times, point.time)
-        self.times.insert(idx, point.time)
+        # Writes arrive in time order in practice; appending matches
+        # bisect_right exactly for ``time >= times[-1]`` (insertion
+        # index == len) without the O(n) list shuffle.
+        times = self.times
+        if not times or point.time >= times[-1]:
+            times.append(point.time)
+            self.points.append(point)
+            return
+        idx = bisect.bisect_right(times, point.time)
+        times.insert(idx, point.time)
         self.points.insert(idx, point)
 
     def scan(
@@ -168,14 +183,52 @@ class TimeSeriesDatabase:
         """Append one sample to *measurement*."""
         if not measurement:
             raise MonitoringError("empty measurement name")
-        series = self._series.setdefault(measurement, _Series())
-        point = Point.make(time=time, value=value, tags=tags)
+        self._append(
+            measurement,
+            Point(time=time, value=float(value),
+                  tags=tuple(sorted((tags or {}).items()))),
+        )
+
+    def write_tagged(
+        self,
+        measurement: str,
+        value: float,
+        time: float,
+        tags: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        """Append one sample with pre-normalised tags.
+
+        *tags* must be a sorted tuple of ``(key, value)`` pairs — the
+        form :meth:`Point.make` normalises to.  Collectors cache these
+        tuples per series so the replay's per-write path allocates one
+        point and nothing else; the stored point is bit-identical to
+        what :meth:`write` would produce from the equivalent mapping.
+        """
+        if not measurement:
+            raise MonitoringError("empty measurement name")
+        # _append inlined: this is the per-sample collector path and the
+        # extra frame showed up in profiles.
+        point = Point(time=time, value=float(value), tags=tags)
+        series = self._series.get(measurement)
+        if series is None:
+            series = self._series.setdefault(measurement, _Series())
         series.insert(point)
         self._writes += 1
         for subscriber in self._subscribers:
             subscriber.on_write(measurement, point)
         if self.retention_seconds is not None and self._writes % 256 == 0:
             self.vacuum(now=time)
+
+    def _append(self, measurement: str, point: Point) -> None:
+        series = self._series.get(measurement)
+        if series is None:
+            series = self._series.setdefault(measurement, _Series())
+        series.insert(point)
+        self._writes += 1
+        for subscriber in self._subscribers:
+            subscriber.on_write(measurement, point)
+        if self.retention_seconds is not None and self._writes % 256 == 0:
+            self.vacuum(now=point.time)
 
     def write_points(
         self, measurement: str, points: Iterable[Point]

@@ -43,7 +43,7 @@ class PodPhase(enum.Enum):
         return self in (PodPhase.SUCCEEDED, PodPhase.FAILED)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ResourceRequirements:
     """Declared requests and limits, as in a pod manifest.
 
@@ -72,7 +72,7 @@ class ResourceRequirements:
         return self.requests.epc_pages > 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WorkloadProfile:
     """Ground truth of what the container actually does when it runs.
 
@@ -101,7 +101,7 @@ class WorkloadProfile:
         return self.epc_pages > 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PodSpec:
     """A pod manifest: image, resources, scheduler selection, workload.
 

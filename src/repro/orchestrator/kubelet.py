@@ -55,15 +55,25 @@ class AdmissionResult:
     retryable: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class _PodRecord:
-    """Node-local state of one admitted pod."""
+    """Node-local state of one admitted pod.
+
+    ``pod_name`` and the ``req_*`` components denormalise immutable pod
+    fields at admission: the scheduler's view builder touches every
+    record every pass, and the flat ints spare it three attribute hops
+    per pod (``pod.spec.resources.requests``) on that path.
+    """
 
     pod: Pod
     cgroup_path: str
     pid: Optional[int] = None
     enclave: Optional[Enclave] = None
     psw: Optional[PlatformSoftware] = None
+    pod_name: str = ""
+    req_cpu: int = 0
+    req_mem: int = 0
+    req_epc: int = 0
 
 
 class Kubelet:
@@ -91,6 +101,14 @@ class Kubelet:
         #: committed requests) changes; the scheduler's skip-clean check
         #: compares it across passes to reuse node views.
         self.commitment_version = 0
+        # Running total of admitted requests, maintained at the two
+        # points records enter/leave ``_records``.  Requests are
+        # integer vectors, so the increments are exact — this is the
+        # same number committed_requests() used to re-sum per call.
+        from ..cluster.resources import ResourceVector
+
+        self._committed = ResourceVector.zero()
+        self._pod_name_by_cgroup: Dict[str, str] = {}
 
     # -- control-plane queries --------------------------------------------
 
@@ -103,14 +121,41 @@ class Kubelet:
         """Pods currently admitted on this node, oldest first."""
         return [record.pod for record in self._records.values()]
 
+    def admitted_records(self):
+        """Live admission records, oldest first — no copy.
+
+        The per-pass view builder iterates this instead of
+        :meth:`admitted_pods` to skip one list per node per pass; the
+        view must not be held across admissions or terminations.
+        """
+        return self._records.values()
+
     def committed_requests(self):
         """Sum of declared requests of admitted pods (scheduler's ledger)."""
-        from ..cluster.resources import ResourceVector
+        return self._committed
 
-        total = ResourceVector.zero()
-        for record in self._records.values():
-            total = total + record.pod.spec.resources.requests
-        return total
+    def _insert_record(self, record: _PodRecord) -> None:
+        """Register an admitted pod in the ledger and indexes."""
+        pod = record.pod
+        requests = pod.spec.resources.requests
+        record.pod_name = pod.name
+        record.req_cpu = requests.cpu_millicores
+        record.req_mem = requests.memory_bytes
+        record.req_epc = requests.epc_pages
+        self._records[pod.uid] = record
+        self.commitment_version += 1
+        self._committed = self._committed + requests
+        self._pod_name_by_cgroup[record.cgroup_path] = pod.name
+
+    def _remove_record(self, uid: str) -> Optional[_PodRecord]:
+        """Unregister a pod; no-op (None) if already gone."""
+        record = self._records.pop(uid, None)
+        if record is not None:
+            self._committed = (
+                self._committed - record.pod.spec.resources.requests
+            )
+            self._pod_name_by_cgroup.pop(record.cgroup_path, None)
+        return record
 
     def advertised_epc_pages(self) -> int:
         """EPC page items advertised by the device plugin (0 if none)."""
@@ -154,8 +199,7 @@ class Kubelet:
         cgroup_path = self.node.cgroups.create_pod_cgroup(pod.uid)
         pod.cgroup_path = cgroup_path
         record = _PodRecord(pod=pod, cgroup_path=cgroup_path)
-        self._records[pod.uid] = record
-        self.commitment_version += 1
+        self._insert_record(record)
 
         # Relay the EPC limit to the driver before containers start.
         limits = pod.spec.resources.effective_limits
@@ -315,8 +359,7 @@ class Kubelet:
         cgroup_path = self.node.cgroups.create_pod_cgroup(pod.uid)
         pod.cgroup_path = cgroup_path
         record = _PodRecord(pod=pod, cgroup_path=cgroup_path)
-        self._records[pod.uid] = record
-        self.commitment_version += 1
+        self._insert_record(record)
         limits = pod.spec.resources.effective_limits
         if self.node.driver is not None and limits.epc_pages > 0:
             self.node.driver.ioctl(
@@ -348,7 +391,7 @@ class Kubelet:
 
     def terminate(self, pod: Pod) -> None:
         """Tear a pod down (normal completion or kill). Idempotent."""
-        record = self._records.pop(pod.uid, None)
+        record = self._remove_record(pod.uid)
         if record is None:
             return
         self._teardown(record)
@@ -365,22 +408,25 @@ class Kubelet:
             self.node.driver.clear_pod(record.cgroup_path)
         if self.node.cgroups.exists(record.cgroup_path):
             self.node.cgroups.remove(record.cgroup_path)
-        self._records.pop(record.pod.uid, None)
+        self._remove_record(record.pod.uid)
 
     # -- monitoring interfaces --------------------------------------------
 
     def pod_memory_usage(self) -> List[PodUsage]:
         """Per-pod standard memory, for the Heapster collector."""
         usage = []
+        node = self.node
+        node_name = node.name
+        cgroup_memory_bytes = node.cgroup_memory_bytes
         for record in self._records.values():
             if record.pid is None:
                 continue
             usage.append(
                 PodUsage(
-                    pod_name=record.pod.name,
-                    node_name=self.node.name,
+                    pod_name=record.pod_name,
+                    node_name=node_name,
                     value=float(
-                        self.node.cgroup_memory_bytes(record.cgroup_path)
+                        cgroup_memory_bytes(record.cgroup_path)
                     ),
                 )
             )
@@ -388,10 +434,7 @@ class Kubelet:
 
     def resolve_pod_name(self, cgroup_path: str) -> Optional[str]:
         """Map a cgroup path back to a pod name, for the SGX probe."""
-        for record in self._records.values():
-            if record.cgroup_path == cgroup_path:
-                return record.pod.name
-        return None
+        return self._pod_name_by_cgroup.get(cgroup_path)
 
     def epc_overcommit_ratio(self) -> float:
         """The node's current EPC over-commit ratio (1.0 when healthy)."""

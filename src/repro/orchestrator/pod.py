@@ -18,7 +18,25 @@ _UIDS = itertools.count(1)
 
 
 class Pod:
-    """One submitted pod and its lifecycle bookkeeping."""
+    """One submitted pod and its lifecycle bookkeeping.
+
+    Slotted: replays hold thousands of these alive at once, and the
+    default identity equality/hash is exactly what the orchestrator's
+    bookkeeping relies on (slots change neither).
+    """
+
+    __slots__ = (
+        "spec",
+        "uid",
+        "phase",
+        "submitted_at",
+        "bound_at",
+        "started_at",
+        "finished_at",
+        "node_name",
+        "cgroup_path",
+        "failure_reason",
+    )
 
     def __init__(self, spec: PodSpec, submitted_at: float):
         self.spec = spec

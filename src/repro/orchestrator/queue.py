@@ -31,14 +31,26 @@ Two queues live here:
   hammering every pass while preserving the pod's priority the moment
   its backoff expires.  The default backoff of 0 makes requeued pods
   eligible immediately, matching the paper's retry-next-pass behaviour.
+
+The scheduling order is materialised once and maintained
+incrementally — pushes bisect into place, removals splice out — so the
+per-pass snapshot costs a copy, not a fresh ``O(n log n)`` sort.  The
+requested-resource aggregates the queue samples report every tick are
+kept as running integer totals the same way.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Dict, Iterator, List, Optional
 
 from ..errors import OrchestrationError
 from .pod import Pod
+
+
+def _order_key(pod: Pod):
+    """Scheduling order: priority tiers first, FCFS within a tier."""
+    return (-pod.spec.priority, pod.submitted_at, pod.uid)
 
 
 class PendingQueue:
@@ -51,8 +63,13 @@ class PendingQueue:
             )
         self.requeue_backoff_seconds = requeue_backoff_seconds
         self._pods: Dict[str, Pod] = {}
+        #: Scheduling-ordered materialisation of ``_pods``; every key
+        #: is unique (uids are), so bisection insert keeps it exact.
+        self._sorted: List[Pod] = []
         #: uid -> ready_at for pods sitting out a requeue backoff.
         self._ready_at: Dict[str, float] = {}
+        self._total_epc_pages = 0
+        self._total_memory_bytes = 0
 
     # -- mutation ----------------------------------------------------------
 
@@ -63,6 +80,10 @@ class PendingQueue:
                 f"pod {pod.name} (uid {pod.uid}) already queued"
             )
         self._pods[pod.uid] = pod
+        insort(self._sorted, pod, key=_order_key)
+        requests = pod.spec.resources.requests
+        self._total_epc_pages += requests.epc_pages
+        self._total_memory_bytes += requests.memory_bytes
 
     def requeue(self, pod: Pod, now: float) -> float:
         """Reinsert a transiently failed pod at its original FCFS slot.
@@ -83,7 +104,11 @@ class PendingQueue:
                 f"pod {pod.name} (uid {pod.uid}) is not queued"
             )
         del self._pods[pod.uid]
+        self._sorted.remove(pod)
         self._ready_at.pop(pod.uid, None)
+        requests = pod.spec.resources.requests
+        self._total_epc_pages -= requests.epc_pages
+        self._total_memory_bytes -= requests.memory_bytes
 
     # -- membership --------------------------------------------------------
 
@@ -98,12 +123,10 @@ class PendingQueue:
 
         An evicted pod is resubmitted with its *original*
         ``submitted_at``, so it re-enters exactly where its tier's
-        FCFS order had it.
+        FCFS order had it.  Returns a copy: callers mutate the queue
+        while walking it.
         """
-        return sorted(
-            self._pods.values(),
-            key=lambda p: (-p.spec.priority, p.submitted_at, p.uid),
-        )
+        return list(self._sorted)
 
     def __iter__(self) -> Iterator[Pod]:
         """Highest-tier-oldest-first iteration over a queue snapshot."""
@@ -111,8 +134,7 @@ class PendingQueue:
 
     def peek(self) -> Optional[Pod]:
         """The frontmost pending pod (backed off or not), or ``None``."""
-        ordered = self._ordered()
-        return ordered[0] if ordered else None
+        return self._sorted[0] if self._sorted else None
 
     def snapshot(self, now: Optional[float] = None) -> List[Pod]:
         """Scheduling-ordered list of pods eligible for scheduling.
@@ -121,13 +143,13 @@ class PendingQueue:
         excluded (a pod whose ``ready_at`` equals *now* exactly is
         eligible); without it the whole queue is returned (reporting).
         """
-        ordered = self._ordered()
         if now is None or not self._ready_at:
-            return ordered
+            return list(self._sorted)
+        ready_at = self._ready_at
         return [
             pod
-            for pod in ordered
-            if self._ready_at.get(pod.uid, now) <= now
+            for pod in self._sorted
+            if ready_at.get(pod.uid, now) <= now
         ]
 
     def ready_count(self, now: float) -> int:
@@ -149,14 +171,8 @@ class PendingQueue:
 
     def total_requested_epc_pages(self) -> int:
         """Sum of EPC pages requested by queued pods (Fig. 7's y-axis)."""
-        return sum(
-            pod.spec.resources.requests.epc_pages
-            for pod in self._pods.values()
-        )
+        return self._total_epc_pages
 
     def total_requested_memory_bytes(self) -> int:
         """Sum of standard memory requested by queued pods."""
-        return sum(
-            pod.spec.resources.requests.memory_bytes
-            for pod in self._pods.values()
-        )
+        return self._total_memory_bytes

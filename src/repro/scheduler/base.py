@@ -34,13 +34,18 @@ from .index import NodeCandidateIndex, SelectionStats
 logger = logging.getLogger(__name__)
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeView:
     """The scheduler's view of one node at pass time.
 
     ``used`` reflects measured usage plus in-pass reservations; the
     strategies mutate it via :meth:`reserve` as they assign pods so one
     pass never double-books a node.
+
+    Slotted: a pass materialises one per node and the filter/score
+    loops touch them per candidate per pod; equality stays the
+    generated field-wise comparison (and the class stays unhashable),
+    exactly as before the slots conversion.
     """
 
     name: str
@@ -52,7 +57,13 @@ class NodeView:
     @property
     def available(self) -> ResourceVector:
         """Capacity minus used, floored at zero."""
-        return (self.capacity - self.used).clamp_floor()
+        capacity = self.capacity
+        used = self.used
+        return ResourceVector._unchecked(
+            max(0, capacity.cpu_millicores - used.cpu_millicores),
+            max(0, capacity.memory_bytes - used.memory_bytes),
+            max(0, capacity.epc_pages - used.epc_pages),
+        )
 
     @property
     def load(self) -> float:
@@ -257,16 +268,18 @@ class ClusterStateService:
 
     def _measured_usage(
         self, now: float
-    ) -> Dict[Tuple[str, str], Tuple[int, int]]:
-        """Per (node, pod) measured ``(memory_bytes, epc_pages)``.
+    ) -> Dict[str, Dict[str, Tuple[int, int]]]:
+        """Measured ``(memory_bytes, epc_pages)`` nested by node, pod.
 
         Runs once per pass over every live series, so the reduction
         stays on plain ints — :meth:`build_views` folds the pairs into
         its per-node vectors.  Each measurement yields one row per
         ``(node, pod)`` group, so plain assignment per measurement is a
-        correct accumulation.
+        correct accumulation.  The nesting (node -> pod -> sample)
+        spares the view builder one tuple-key allocation per admitted
+        pod per pass.
         """
-        measured: Dict[Tuple[str, str], Tuple[int, int]] = {}
+        measured: Dict[str, Dict[str, Tuple[int, int]]] = {}
         skipped = 0
         for node, pod, usage in self._window_maxima(
             MEASUREMENT_MEMORY, self._memory_query, now
@@ -274,16 +287,21 @@ class ClusterStateService:
             if node is None or pod is None:
                 skipped += 1
                 continue
-            measured[(node, pod)] = (int(usage), 0)
+            node_measured = measured.get(node)
+            if node_measured is None:
+                node_measured = measured[node] = {}
+            node_measured[pod] = (int(usage), 0)
         for node, pod, usage in self._window_maxima(
             MEASUREMENT_EPC, self._epc_query, now
         ):
             if node is None or pod is None:
                 skipped += 1
                 continue
-            key = (node, pod)
-            entry = measured.get(key)
-            measured[key] = (entry[0] if entry else 0, int(usage))
+            node_measured = measured.get(node)
+            if node_measured is None:
+                node_measured = measured[node] = {}
+            entry = node_measured.get(pod)
+            node_measured[pod] = (entry[0] if entry else 0, int(usage))
         if skipped:
             # Malformed rows persist in the window across passes; warn
             # on first sight only so the scheduling loop cannot flood
@@ -397,30 +415,34 @@ class ClusterStateService:
             assert self._last_views is not None
             return self._clone_views(self._last_views)
         measured = self._measured_usage(now)
+        empty: Dict[str, Tuple[int, int]] = {}
         views: List[NodeView] = []
         for kubelet in self.kubelets:
             node = kubelet.node
-            used = ResourceVector.zero()
-            for pod in kubelet.admitted_pods():
-                key = (node.name, pod.name)
-                sample = measured.get(key)
+            node_name = node.name
+            node_measured = measured.get(node_name, empty)
+            # Accumulate on plain ints: the per-pod vector adds were
+            # the hottest allocation site of the pass, and integer
+            # accumulation is exactly the same sum.
+            cpu = memory = epc = 0
+            for record in kubelet.admitted_records():
+                sample = node_measured.get(record.pod_name)
+                # CPU is not measured; carry the declared value.  The
+                # record denormalises the request components so this
+                # loop never dereferences the pod at all.
+                cpu += record.req_cpu
                 if sample is not None:
-                    # CPU is not measured; carry the declared value.
-                    memory_bytes, epc_pages = sample
-                    requests = pod.spec.resources.requests
-                    used = used + ResourceVector(
-                        cpu_millicores=requests.cpu_millicores,
-                        memory_bytes=memory_bytes,
-                        epc_pages=epc_pages,
-                    )
+                    memory += sample[0]
+                    epc += sample[1]
                 else:
-                    used = used + pod.spec.resources.requests
+                    memory += record.req_mem
+                    epc += record.req_epc
             views.append(
                 NodeView(
-                    name=node.name,
+                    name=node_name,
                     sgx_capable=kubelet.advertised_epc_pages() > 0,
                     capacity=node.capacity,
-                    used=used,
+                    used=ResourceVector._unchecked(cpu, memory, epc),
                     committed=kubelet.committed_requests(),
                 )
             )

@@ -61,12 +61,32 @@ def feasible_candidates(
     exists for API users who want to explain a deferral.
     """
     requests = pod.spec.resources.requests
-    return [
-        view
-        for view in views
-        if (view.sgx_capable or not pod.requires_sgx)
-        and requests.fits_within(view.available)
-    ]
+    needs_sgx = pod.requires_sgx
+    cpu = requests.cpu_millicores
+    memory = requests.memory_bytes
+    epc = requests.epc_pages
+    candidates: List["NodeView"] = []
+    append = candidates.append
+    # Component comparisons against capacity-minus-used, inlined: this
+    # runs once per node per pod per pass, and materialising the
+    # ``available`` vector per probe dominated the filter phase.  A
+    # zero request fits an overcommitted dimension (available floors
+    # at zero), hence the ``== 0`` escapes.
+    for view in views:
+        if needs_sgx and not view.sgx_capable:
+            continue
+        capacity = view.capacity
+        used = view.used
+        if (
+            (cpu == 0 or cpu <= capacity.cpu_millicores - used.cpu_millicores)
+            and (
+                memory == 0
+                or memory <= capacity.memory_bytes - used.memory_bytes
+            )
+            and (epc == 0 or epc <= capacity.epc_pages - used.epc_pages)
+        ):
+            append(view)
+    return candidates
 
 
 def can_ever_fit(pod: Pod, views: Sequence["NodeView"]) -> bool:

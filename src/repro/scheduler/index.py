@@ -174,11 +174,14 @@ class _GroupIndex:
 
     @staticmethod
     def _avail_of(view: "NodeView") -> Tuple[int, int, int]:
-        available = view.available
+        # Inlined ``view.available`` components: leaf refreshes run per
+        # placement and need the triple, not a throwaway vector.
+        capacity = view.capacity
+        used = view.used
         return (
-            available.cpu_millicores,
-            available.memory_bytes,
-            available.epc_pages,
+            max(0, capacity.cpu_millicores - used.cpu_millicores),
+            max(0, capacity.memory_bytes - used.memory_bytes),
+            max(0, capacity.epc_pages - used.epc_pages),
         )
 
     @staticmethod

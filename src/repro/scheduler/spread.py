@@ -77,18 +77,23 @@ class SpreadScheduler(Scheduler):
         views: Sequence[NodeView],
     ) -> Optional[NodeView]:
         requests = pod.spec.resources.requests
+        # Base loads once per pod; each candidate substitutes its own
+        # post-placement load into its position.  The list handed to
+        # ``_stddev`` holds the identical values in the identical
+        # positions the per-candidate rebuild produced, at O(V + C)
+        # load computations instead of O(V * C).
+        loads = [view.load for view in views]
+        position = {id(view): i for i, view in enumerate(views)}
         best: Optional[NodeView] = None
         best_key = None
         for candidate in candidates:
-            loads = [
-                candidate.load_after(requests)
-                if view is candidate
-                else view.load
-                for view in views
-            ]
+            index = position[id(candidate)]
+            saved = loads[index]
+            loads[index] = candidate.load_after(requests)
             # Tie-break deterministically: prefer non-SGX, then by name,
             # so runs are reproducible across dict orderings.
             key = (_stddev(loads), candidate.sgx_capable, candidate.name)
+            loads[index] = saved
             if best_key is None or key < best_key:
                 best_key = key
                 best = candidate

@@ -29,7 +29,7 @@ from ..units import pages as bytes_to_pages
 from ..units import pages_to_mib
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EpcAllocation:
     """A live reservation of EPC pages owned by a single enclave."""
 
@@ -88,13 +88,17 @@ class EnclavePageCache:
         self.allow_overcommit = allow_overcommit
         self._allocations: Dict[int, EpcAllocation] = {}
         self._ids = itertools.count(1)
+        # Running page total, adjusted at every allocation mutation:
+        # the paging-slowdown model queries allocated_pages per running
+        # job per occupancy change, far too often to re-sum.
+        self._allocated_pages = 0
 
     # -- capacity queries ---------------------------------------------------
 
     @property
     def allocated_pages(self) -> int:
         """Total pages owned by live allocations (resident or paged out)."""
-        return sum(a.pages for a in self._allocations.values())
+        return self._allocated_pages
 
     @property
     def resident_pages(self) -> int:
@@ -152,6 +156,7 @@ class EnclavePageCache:
             resident_pages=resident,
         )
         self._allocations[alloc.allocation_id] = alloc
+        self._allocated_pages += n_pages
         return alloc
 
     def grow_allocation(
@@ -181,6 +186,7 @@ class EnclavePageCache:
             resident_pages=current.resident_pages + extra_resident,
         )
         self._allocations[grown.allocation_id] = grown
+        self._allocated_pages += extra_pages
         return grown
 
     def shrink_allocation(
@@ -212,24 +218,32 @@ class EnclavePageCache:
             resident_pages=min(current.resident_pages, remaining),
         )
         self._allocations[shrunk.allocation_id] = shrunk
+        self._allocated_pages -= fewer_pages
         return shrunk
 
     def release(self, allocation: EpcAllocation) -> None:
         """Return an allocation's pages to the free pool."""
-        if allocation.allocation_id not in self._allocations:
+        # Subtract the live record's pages, not the argument's: the
+        # caller may hold a stale record from before a grow/shrink.
+        current = self._allocations.get(allocation.allocation_id)
+        if current is None:
             raise SgxError(
                 f"allocation {allocation.allocation_id} is not live"
             )
         del self._allocations[allocation.allocation_id]
+        self._allocated_pages -= current.pages
 
     def release_owner(self, owner: str) -> int:
         """Release every allocation owned by *owner*; return pages freed."""
         doomed = [
             a for a in self._allocations.values() if a.owner == owner
         ]
+        freed = 0
         for alloc in doomed:
             del self._allocations[alloc.allocation_id]
-        return sum(a.pages for a in doomed)
+            freed += alloc.pages
+        self._allocated_pages -= freed
+        return freed
 
     def rebalance_residency(self) -> None:
         """Recompute which pages are resident after over-commit churn.

@@ -5,13 +5,18 @@ entries, a monotonically advancing clock and cancellable handles.  Ties
 break by scheduling order (the sequence number), which — together with
 seeded randomness everywhere else — makes whole experiments reproducible
 bit-for-bit.
+
+The heap stores bare ``(time, seq, handle)`` tuples rather than the
+handles themselves: tuple comparison happens in C, so the hot
+push/pop path never re-enters the interpreter for ordering.  Handles
+exist only to let callers cancel events; ordering is carried entirely
+by the tuple.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from typing import Callable, List, Optional
+from heapq import heapify, heappop, heappush
+from typing import Callable, List, Optional, Tuple
 
 from ..errors import SimulationError
 
@@ -43,8 +48,18 @@ class EventHandle:
             return
         self.cancelled = True
         self.action = None
-        if self._engine is not None:
-            self._engine._note_cancel()
+        engine = self._engine
+        if engine is not None:
+            # Inlined bookkeeping: this is the hottest cancel path
+            # (every reschedule cancels the stale finish event).
+            engine._pending -= 1
+            engine._cancelled += 1
+            queue = engine._queue
+            if (
+                len(queue) >= engine.COMPACT_MIN_QUEUE
+                and engine._cancelled * 2 >= len(queue)
+            ):
+                engine._compact()
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -53,15 +68,19 @@ class EventHandle:
 class SimulationEngine:
     """Event loop with a simulated clock."""
 
-    #: Compact the heap once at least this many cancelled handles
-    #: accumulate *and* they make up at least half the queue; keeps long
-    #: replays from retaining dead EventHandles indefinitely.
-    COMPACT_MIN_CANCELLED = 64
+    #: Compact the heap once cancelled handles make up at least half of
+    #: it.  The threshold is proportional to the heap size (amortised
+    #: O(1) work per cancel, bounded memory overhead of 2x live events)
+    #: rather than a fixed count, which on small queues never triggered
+    #: and on huge queues compacted too eagerly.  Queues smaller than
+    #: ``COMPACT_MIN_QUEUE`` are left alone: compaction is pure
+    #: overhead when the whole heap fits in a cache line or two.
+    COMPACT_MIN_QUEUE = 32
 
     def __init__(self, start_time: float = 0.0):
         self._now = start_time
-        self._queue: List[EventHandle] = []
-        self._seq = itertools.count()
+        self._queue: List[Tuple[float, int, EventHandle]] = []
+        self._next_seq = 0
         self._fired = 0
         self._pending = 0  # live (non-cancelled, unfired) events
         self._cancelled = 0  # cancelled handles still sitting in the heap
@@ -85,13 +104,18 @@ class SimulationEngine:
         """Bookkeeping for one handle transitioning to cancelled."""
         self._pending -= 1
         self._cancelled += 1
+        queue = self._queue
         if (
-            self._cancelled >= self.COMPACT_MIN_CANCELLED
-            and self._cancelled * 2 >= len(self._queue)
+            len(queue) >= self.COMPACT_MIN_QUEUE
+            and self._cancelled * 2 >= len(queue)
         ):
-            self._queue = [h for h in self._queue if not h.cancelled]
-            heapq.heapify(self._queue)
-            self._cancelled = 0
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the survivors."""
+        self._queue = [e for e in self._queue if not e[2].cancelled]
+        heapify(self._queue)
+        self._cancelled = 0
 
     def schedule_at(self, time: float, action: Action) -> EventHandle:
         """Schedule *action* at absolute simulated *time*."""
@@ -99,8 +123,10 @@ class SimulationEngine:
             raise SimulationError(
                 f"cannot schedule in the past: {time} < now={self._now}"
             )
-        handle = EventHandle(time, next(self._seq), action, engine=self)
-        heapq.heappush(self._queue, handle)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        handle = EventHandle(time, seq, action, self)
+        heappush(self._queue, (time, seq, handle))
         self._pending += 1
         return handle
 
@@ -108,7 +134,52 @@ class SimulationEngine:
         """Schedule *action* after *delay* seconds of simulated time."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.schedule_at(self._now + delay, action)
+        # Inlined schedule_at: a non-negative delay can never land in
+        # the past, so the guard there is redundant on this path.
+        time = self._now + delay
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        handle = EventHandle(time, seq, action, self)
+        heappush(self._queue, (time, seq, handle))
+        self._pending += 1
+        return handle
+
+    def reschedule_in(
+        self,
+        handle: Optional[EventHandle],
+        delay: float,
+        action: Action,
+    ) -> EventHandle:
+        """Cancel *handle* (when live) and schedule *action* after *delay*.
+
+        Fuses ``handle.cancel()`` + :meth:`schedule_in` into one call —
+        the replay refreshes every running job's finish event on each
+        occupancy change, making this the engine's hottest entry point.
+        Timestamps, sequence numbers and compaction behaviour are
+        exactly those of the unfused pair; a live cancel nets out
+        against the new event in the pending count.
+        """
+        if (
+            handle is not None
+            and not handle.cancelled
+            and handle.action is not None
+        ):
+            handle.cancelled = True
+            handle.action = None
+            self._cancelled += 1
+            size = len(self._queue)
+            if size >= self.COMPACT_MIN_QUEUE and self._cancelled * 2 >= size:
+                self._compact()
+        else:
+            self._pending += 1
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        time = self._now + delay
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        new = EventHandle(time, seq, action, self)
+        heappush(self._queue, (time, seq, new))
+        return new
 
     def run(
         self,
@@ -120,18 +191,21 @@ class SimulationEngine:
         Returns the final simulated time.  ``max_events`` guards against
         runaway self-rescheduling loops.
         """
+        queue = self._queue
+        pop = heappop
         fired_this_run = 0
-        while self._queue:
-            handle = self._queue[0]
+        while queue:
+            entry = queue[0]
+            handle = entry[2]
             if handle.cancelled:
-                heapq.heappop(self._queue)
+                pop(queue)
                 self._cancelled -= 1
                 continue
-            if until is not None and handle.time > until:
+            if until is not None and entry[0] > until:
                 self._now = until
                 return self._now
-            heapq.heappop(self._queue)
-            self._now = handle.time
+            pop(queue)
+            self._now = entry[0]
             action = handle.action
             handle.action = None
             self._pending -= 1
@@ -143,6 +217,8 @@ class SimulationEngine:
                 )
             if action is not None:
                 action()
+            # Compaction rebinds self._queue; stay on the live heap.
+            queue = self._queue
         if until is not None and until > self._now:
             self._now = until
         return self._now
@@ -150,11 +226,12 @@ class SimulationEngine:
     def step(self) -> bool:
         """Fire exactly one (non-cancelled) event; ``False`` if drained."""
         while self._queue:
-            handle = heapq.heappop(self._queue)
+            entry = heappop(self._queue)
+            handle = entry[2]
             if handle.cancelled:
                 self._cancelled -= 1
                 continue
-            self._now = handle.time
+            self._now = entry[0]
             action = handle.action
             handle.action = None
             self._pending -= 1

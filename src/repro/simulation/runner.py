@@ -42,7 +42,15 @@ from __future__ import annotations
 import inspect
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 # Importing the strategy/workload/policy *packages* (not just the
 # modules the runner itself touches) registers every built-in with the
@@ -401,7 +409,16 @@ def resolve_workload_priorities(
 
 
 class _RunningJob:
-    """Progress tracking for one started pod."""
+    """Progress tracking for one started pod.
+
+    ``seq`` is the global start order; per-node registries keep their
+    jobs sorted by it so iteration matches the historical flat-dict
+    scan (reschedule order feeds event sequence numbers, which break
+    simultaneous-event ties — order is behaviour here).  ``uses_epc``
+    is resolved once at start: the spec never changes afterwards, and
+    the paging-slowdown loop is too hot for two attribute hops per job
+    per tick.
+    """
 
     __slots__ = (
         "pod",
@@ -410,6 +427,9 @@ class _RunningJob:
         "last_update",
         "rate",
         "finish_handle",
+        "finish_action",
+        "seq",
+        "uses_epc",
     )
 
     def __init__(self, pod: Pod, node_name: str, work_seconds: float):
@@ -419,6 +439,13 @@ class _RunningJob:
         self.last_update = 0.0
         self.rate = 1.0
         self.finish_handle: Optional[EventHandle] = None
+        #: The finish callback, built once at start — every occupancy
+        #: change re-schedules it, and a fresh closure per reschedule
+        #: was measurable on the replay hot path.
+        self.finish_action: Optional[Callable[[], None]] = None
+        self.seq = 0
+        workload = pod.spec.workload
+        self.uses_epc = workload is not None and workload.uses_sgx
 
 
 class _Replay:
@@ -452,6 +479,16 @@ class _Replay:
         self.engine = SimulationEngine()
         self.log = EventLog()
         self.running: Dict[str, _RunningJob] = {}  # pod uid -> job
+        #: Per-node registries (node name -> pod uid -> job), each kept
+        #: in global start order (``_RunningJob.seq``); lets the
+        #: per-tick sync/reschedule loops touch only the node's own
+        #: jobs instead of scanning every running job per node.
+        self._node_jobs: Dict[str, Dict[str, _RunningJob]] = {}
+        self._job_seq = 0
+        #: SGX node names in cluster order; refreshed on node churn.
+        self._sgx_node_names: List[str] = [
+            n.name for n in self.cluster.sgx_nodes
+        ]
         self.unsubmitted = 0
 
         build_plans = WORKLOADS.get(config.workload)
@@ -598,9 +635,11 @@ class _Replay:
             # running-job entry (and dangling finish event) exactly
             # like a failed migration, keyed by uid because the
             # replacement reuses the spec name.
-            job = self.running.pop(victim.uid, None)
-            if job is not None and job.finish_handle is not None:
-                job.finish_handle.cancel()
+            job = self.running.get(victim.uid)
+            if job is not None:
+                if job.finish_handle is not None:
+                    job.finish_handle.cancel()
+                self._drop_job(job)
             self.log.record(
                 now,
                 EventKind.EVICTED,
@@ -641,7 +680,11 @@ class _Replay:
             pod, pod.node_name, pod.spec.workload.duration_seconds
         )
         job.last_update = now
+        job.finish_action = lambda: self._finish(job)
+        job.seq = self._job_seq
+        self._job_seq += 1
         self.running[pod.uid] = job
+        self._node_jobs.setdefault(pod.node_name, {})[pod.uid] = job
         self.log.record(
             now, EventKind.STARTED, pod_name=pod.name, node_name=pod.node_name
         )
@@ -664,7 +707,7 @@ class _Replay:
                 None,
             )
             if job is not None:
-                job.node_name = action.target_node
+                self._move_job(job, action.target_node)
                 # Downtime pauses the workload: account it as extra
                 # work at the current rate.
                 job.remaining_work += action.downtime_seconds * job.rate
@@ -681,9 +724,11 @@ class _Replay:
             # entry (and its dangling finish event) so the replay does
             # not try to complete a pod that no longer exists.  Keyed
             # by uid — the replacement reuses the spec name.
-            job = self.running.pop(failure.pod_uid, None)
-            if job is not None and job.finish_handle is not None:
-                job.finish_handle.cancel()
+            job = self.running.get(failure.pod_uid)
+            if job is not None:
+                if job.finish_handle is not None:
+                    job.finish_handle.cancel()
+                self._drop_job(job)
             self.log.record(
                 now,
                 EventKind.MIGRATION_FAILED,
@@ -714,8 +759,9 @@ class _Replay:
         for job in self._jobs_on(node_name):
             if job.finish_handle is not None:
                 job.finish_handle.cancel()
-            del self.running[job.pod.uid]
+            self._drop_job(job)
         replacements = self.orchestrator.remove_node(node_name, now)
+        self._sgx_node_names = [n.name for n in self.cluster.sgx_nodes]
         for pod in replacements:
             self.log.record(
                 now,
@@ -738,7 +784,7 @@ class _Replay:
             # Slowed down since this event was scheduled; reschedule.
             self._reschedule_node(job.node_name, now)
             return
-        del self.running[job.pod.uid]
+        self._drop_job(job)
         self.orchestrator.complete_pod(job.pod, now)
         self.log.record(
             now,
@@ -758,45 +804,82 @@ class _Replay:
         return self.perf.paging_slowdown(kubelet.epc_overcommit_ratio())
 
     def _jobs_on(self, node_name: str) -> List[_RunningJob]:
-        return [
-            job for job in self.running.values()
-            if job.node_name == node_name
-        ]
+        jobs = self._node_jobs.get(node_name)
+        return list(jobs.values()) if jobs else []
+
+    def _drop_job(self, job: _RunningJob) -> None:
+        """Remove a job from both registries (finish/evict/crash/loss)."""
+        del self.running[job.pod.uid]
+        node_jobs = self._node_jobs.get(job.node_name)
+        if node_jobs is not None:
+            node_jobs.pop(job.pod.uid, None)
+
+    def _move_job(self, job: _RunningJob, target_node: str) -> None:
+        """Re-home a migrated job, preserving start-order iteration.
+
+        The target registry is rebuilt sorted by ``seq`` because a
+        plain insert would append the migrant at the end, whereas the
+        flat-scan order this registry replaces keeps it at its original
+        start position.  Migrations are rare; the sort is cheap.
+        """
+        uid = job.pod.uid
+        source_jobs = self._node_jobs.get(job.node_name)
+        if source_jobs is not None:
+            source_jobs.pop(uid, None)
+        job.node_name = target_node
+        target_jobs = self._node_jobs.setdefault(target_node, {})
+        target_jobs[uid] = job
+        if len(target_jobs) > 1:
+            ordered = sorted(target_jobs.values(), key=lambda j: j.seq)
+            target_jobs.clear()
+            for entry in ordered:
+                target_jobs[entry.pod.uid] = entry
 
     def _sync_node(self, node_name: str, now: float) -> None:
         """Bank work done at the rates in effect since the last sync."""
-        for job in self._jobs_on(node_name):
+        jobs = self._node_jobs.get(node_name)
+        if not jobs:
+            return
+        for job in jobs.values():
             elapsed = now - job.last_update
-            if elapsed > 0:
-                job.remaining_work = max(
-                    0.0, job.remaining_work - elapsed * job.rate
-                )
-            job.last_update = now
+            # Engine time is monotone, so elapsed == 0 makes both the
+            # work update and the timestamp write no-ops: skip them.
+            if elapsed > 0.0:
+                work = job.remaining_work - elapsed * job.rate
+                job.remaining_work = work if work > 0.0 else 0.0
+                job.last_update = now
 
     def _reschedule_node(self, node_name: str, now: float) -> None:
         """Recompute rates and finish events after an occupancy change."""
-        for job in self._jobs_on(node_name):
-            uses_epc = (
-                job.pod.spec.workload is not None
-                and job.pod.spec.workload.uses_sgx
-            )
-            slowdown = self._node_slowdown(node_name, uses_epc)
-            new_rate = 1.0 / slowdown
-            if job.finish_handle is not None:
-                job.finish_handle.cancel()
-            job.rate = new_rate
-            eta = job.remaining_work * slowdown
-            job.finish_handle = self.engine.schedule_in(
-                eta, lambda j=job: self._finish(j)
+        jobs = self._node_jobs.get(node_name)
+        if not jobs:
+            return
+        # The paging slowdown is a pure function of the node's EPC
+        # occupancy, constant across this loop: compute it once for
+        # the node (lazily — nodes with no enclave jobs never look).
+        epc_slowdown = -1.0
+        reschedule_in = self.engine.reschedule_in
+        for job in jobs.values():
+            if job.uses_epc:
+                if epc_slowdown < 0.0:
+                    epc_slowdown = self._node_slowdown(node_name, True)
+                slowdown = epc_slowdown
+            else:
+                slowdown = 1.0
+            job.rate = 1.0 / slowdown
+            job.finish_handle = reschedule_in(
+                job.finish_handle,
+                job.remaining_work * slowdown,
+                job.finish_action,
             )
 
     def _sync_all_nodes(self, now: float) -> None:
-        for node in self.cluster.sgx_nodes:
-            self._sync_node(node.name, now)
+        for node_name in self._sgx_node_names:
+            self._sync_node(node_name, now)
 
     def _reschedule_all_nodes(self, now: float) -> None:
-        for node in self.cluster.sgx_nodes:
-            self._reschedule_node(node.name, now)
+        for node_name in self._sgx_node_names:
+            self._reschedule_node(node_name, now)
 
     # -- main ---------------------------------------------------------------
 

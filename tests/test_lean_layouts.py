@@ -1,0 +1,137 @@
+"""Object-layout regressions for the hot-path rebuild.
+
+The lean layouts (``__slots__`` on pods, records, node views and TSDB
+points) must not change any observable semantics: pickling of the
+public API types keeps working, Pod keeps identity equality/hash, and
+NodeView keeps generated field-wise equality while staying unhashable.
+"""
+
+import pickle
+
+import pytest
+
+from repro.api import Scenario
+from repro.cluster.resources import ResourceVector
+from repro.monitoring.tsdb import Point
+from repro.orchestrator.api import make_pod_spec
+from repro.orchestrator.pod import Pod
+from repro.scheduler.base import NodeView
+from repro.simulation.engine import SimulationEngine
+
+TINY = dict(trace_jobs=20, sgx_fraction=0.5, seed=3)
+
+
+class TestPickleRoundTrips:
+    def test_pod_spec_round_trips(self):
+        spec = make_pod_spec(
+            "job", duration_seconds=30.0, declared_epc_bytes=8 << 20
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.resources.requests == spec.resources.requests
+
+    def test_scenario_round_trips(self):
+        scenario = Scenario(scheduler="spread", **TINY)
+        clone = pickle.loads(pickle.dumps(scenario))
+        assert clone == scenario
+
+    def test_run_result_round_trips_with_identical_signature(self):
+        result = Scenario(**TINY).run()
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.signature() == result.signature()
+        assert clone.to_row() == result.to_row()
+
+    def test_point_round_trips(self):
+        point = Point.make(1.5, 42.0, {"nodename": "n", "pod_name": "p"})
+        clone = pickle.loads(pickle.dumps(point))
+        assert clone == point
+        assert hash(clone) == hash(point)
+        assert clone.tags == point.tags
+
+
+class TestPodIdentitySemantics:
+    def test_equality_is_identity(self):
+        spec = make_pod_spec("twin", duration_seconds=10.0)
+        first, second = Pod(spec, 0.0), Pod(spec, 0.0)
+        assert first == first
+        assert first != second  # same spec, distinct pods
+
+    def test_hash_is_identity_and_set_usable(self):
+        spec = make_pod_spec("twin", duration_seconds=10.0)
+        pods = {Pod(spec, 0.0) for _ in range(3)}
+        assert len(pods) == 3
+
+    def test_slots_prevent_stray_attributes(self):
+        pod = Pod(make_pod_spec("p", duration_seconds=1.0), 0.0)
+        with pytest.raises(AttributeError):
+            pod.scratch = 1
+
+
+class TestNodeViewSemantics:
+    def make_view(self):
+        return NodeView(
+            name="n",
+            sgx_capable=True,
+            capacity=ResourceVector(1000, 2000, 30),
+            used=ResourceVector(100, 200, 3),
+        )
+
+    def test_equality_is_field_wise(self):
+        assert self.make_view() == self.make_view()
+        other = self.make_view()
+        other.used = ResourceVector(101, 200, 3)
+        assert self.make_view() != other
+
+    def test_stays_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(self.make_view())
+
+    def test_slots_prevent_stray_attributes(self):
+        with pytest.raises(AttributeError):
+            self.make_view().scratch = 1
+
+
+class TestRescheduleFusion:
+    """engine.reschedule_in == handle.cancel() + schedule_in, exactly."""
+
+    def test_matches_unfused_pair(self):
+        fused, unfused = SimulationEngine(), SimulationEngine()
+        noop = lambda: None  # noqa: E731
+        fh = fused.schedule_in(5.0, noop)
+        uh = unfused.schedule_in(5.0, noop)
+        fh2 = fused.reschedule_in(fh, 7.0, noop)
+        uh.cancel()
+        uh2 = unfused.schedule_in(7.0, noop)
+        assert (fh2.time, fh2.seq) == (uh2.time, uh2.seq)
+        assert fh.cancelled and uh.cancelled
+        assert fused.pending_events == unfused.pending_events == 1
+
+    def test_none_and_fired_handles_count_as_fresh_schedules(self):
+        engine = SimulationEngine()
+        fired = []
+        handle = engine.reschedule_in(None, 1.0, lambda: fired.append(1))
+        engine.run(until=2.0)
+        assert fired == [1]
+        # The fired handle is inert: rescheduling it must not disturb
+        # the pending count the way cancelling a live event would.
+        engine.reschedule_in(handle, 1.0, lambda: None)
+        assert engine.pending_events == 1
+
+    def test_negative_delay_rejected(self):
+        from repro.errors import SimulationError
+
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.reschedule_in(None, -1.0, lambda: None)
+
+    def test_compaction_triggers_through_fused_path(self):
+        engine = SimulationEngine()
+        handles = [
+            engine.schedule_in(float(i), lambda: None) for i in range(64)
+        ]
+        for handle in handles[:40]:
+            engine.reschedule_in(handle, 100.0, lambda: None)
+        # 40 cancels against a >=32-entry heap must have compacted at
+        # least once: the heap never holds >2x the live events.
+        assert len(engine._queue) <= 2 * engine.pending_events
+        assert engine.pending_events == 64

@@ -193,7 +193,7 @@ class TestMalformedRows:
             tags={"pod_name": "p", "nodename": "n"},
         )
         measured = service._measured_usage(now=2.0)
-        assert measured == {("n", "p"): (100, 0)}
+        assert measured == {"n": {"p": (100, 0)}}
         assert service.malformed_rows_skipped == 0
 
 

@@ -160,7 +160,7 @@ class TestPendingCounter:
         ]
         for handle in handles[::3]:
             handle.cancel()
-        census = sum(1 for h in engine._queue if not h.cancelled)
+        census = sum(1 for e in engine._queue if not e[2].cancelled)
         assert engine.pending_events == census
 
     def test_cancel_during_run_keeps_counter_consistent(self):
@@ -195,7 +195,7 @@ class TestCompaction:
                 keepers.append(i)
         # Cancel everything not a keeper (in one pass so the heap sees
         # many dead entries at once and compacts mid-stream).
-        for handle in list(engine._queue):
+        for _, _, handle in list(engine._queue):
             if int(handle.time) not in keepers:
                 handle.cancel()
         engine.run()
@@ -211,3 +211,39 @@ class TestCompaction:
         assert len(engine._queue) == 20  # below the compaction floor
         engine.run()
         assert engine.fired_events == 10
+
+    def test_threshold_is_proportional_to_heap_size(self):
+        # The compaction trigger scales with the heap: cancelled
+        # handles may pile up to just under half the heap, and the
+        # very next cancel that tips the ratio compacts.  Pin the
+        # bound exactly so the policy can't silently regress to a
+        # fixed count.
+        n = 400
+        engine = SimulationEngine()
+        handles = [
+            engine.schedule_at(float(i), lambda: None) for i in range(n)
+        ]
+        # One shy of the threshold: cancelled * 2 < len(queue).
+        for handle in handles[: n // 2 - 1]:
+            handle.cancel()
+        assert len(engine._queue) == n  # not yet compacted
+        assert engine._cancelled == n // 2 - 1
+        # Tipping cancel: cancelled * 2 == len(queue) -> compact.
+        handles[n // 2 - 1].cancel()
+        assert len(engine._queue) == engine.pending_events == n // 2
+        assert engine._cancelled == 0
+
+    def test_compaction_floor_exempts_tiny_heaps(self):
+        floor = SimulationEngine.COMPACT_MIN_QUEUE
+        engine = SimulationEngine()
+        handles = [
+            engine.schedule_at(float(i), lambda: None)
+            for i in range(floor - 1)
+        ]
+        for handle in handles:
+            handle.cancel()
+        # Every event cancelled, yet the heap stays intact: below the
+        # floor, compaction would cost more than the dead entries do.
+        assert len(engine._queue) == floor - 1
+        engine.run()
+        assert engine.fired_events == 0
