@@ -421,7 +421,7 @@ def run_api_sweep(
     parallel = sweep.run(workers=workers)
     parallel_s = time.perf_counter() - start
     rows = []
-    for serial_run, parallel_run in zip(serial, parallel):
+    for serial_run, parallel_run in zip(serial, parallel, strict=True):
         row = serial_run.to_row()
         row["parallel_identical"] = (
             serial_run.signature() == parallel_run.signature()

@@ -49,7 +49,7 @@ def main() -> None:
         grid={"sgx_fraction": [s / 100.0 for s in args.sgx_share]},
         name="borg-replay",
     )
-    for share, result in zip(args.sgx_share, sweep.run()):
+    for share, result in zip(args.sgx_share, sweep.run(), strict=True):
         metrics = result.metrics
         waits = metrics.waiting_times()
         print(f"\n=== {share:.0f}% SGX jobs (binpack) ===")

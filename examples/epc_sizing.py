@@ -46,7 +46,7 @@ def main() -> None:
         name="epc-sizing",
     )
     # The four replays are independent scenarios; fan them out.
-    for size_mib, result in zip(sizes_mib, sweep.run(workers=4)):
+    for size_mib, result in zip(sizes_mib, sweep.run(workers=4), strict=True):
         metrics = result.metrics
         curve = [s.pending_epc_mib for s in metrics.queue_series]
         print(

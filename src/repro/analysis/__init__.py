@@ -1,0 +1,64 @@
+"""Static analysis: determinism & invariant checks over the source tree.
+
+The reproduction's load-bearing guarantee is bit-for-bit determinism:
+every optimisation since PR 1 is accepted only because replays are
+byte-identical to the full-scan oracle.  The hypothesis equivalence
+suites enforce that *at runtime*; this package enforces the hazards
+they catch — unseeded RNG, wall-clock reads, iteration over unordered
+sets, identity-based tie-breakers, ``__dict__`` resurrection on the
+PR 6 slotted hot classes, registry drift — *at lint time*, before a
+flaky equivalence failure ships.
+
+The framework mirrors the PR 4 registries: a check plugs in with
+``@register_check`` and is immediately part of ``repro check``::
+
+    from repro.analysis import Check, Finding, register_check
+
+    @register_check("DET999")
+    class MyCheck(Check):
+        rule = "DET999"
+        description = "..."
+        hint = "..."
+
+        def check_module(self, module, config):
+            yield from ()
+
+Run the suite with :func:`run_checks` (the ``repro check`` CLI
+subcommand is a thin wrapper), scope rules per package via
+:class:`CheckConfig`, suppress individual lines with
+``repro: noqa[RULE]`` comments and grandfather reviewed findings in a JSON
+baseline (schema ``repro.check/v1``).
+"""
+
+from .baseline import load_baseline, write_baseline
+from .base import Check, ModuleCheck, ProjectCheck, register_check
+from .config import CheckConfig, DEFAULT_CONFIG
+from .findings import Finding
+from .registry import CHECKS, check_names
+from .report import CHECK_SCHEMA, CheckReport
+from .runner import analyze_project, run_checks
+from .source import ModuleSource, Project, load_project
+
+# Importing the rule modules registers every built-in check.
+from . import checks as _builtin_checks  # noqa: F401  isort: skip
+
+__all__ = [
+    "CHECKS",
+    "CHECK_SCHEMA",
+    "Check",
+    "CheckConfig",
+    "CheckReport",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "ModuleCheck",
+    "ModuleSource",
+    "Project",
+    "ProjectCheck",
+    "analyze_project",
+    "check_names",
+    "load_baseline",
+    "load_project",
+    "register_check",
+    "run_checks",
+    "write_baseline",
+]

@@ -1,0 +1,110 @@
+"""Reviewed-findings baseline: load, write, diff.
+
+A baseline grandfathers known findings so ``repro check`` can gate on
+*new* violations while an incremental cleanup is underway.  Entries
+match on ``(path, rule, message)`` — line numbers churn with every
+edit above a finding — and every entry must still match something: a
+fixed finding whose baseline entry lingers is reported as ``BASE001``
+so the file only ever shrinks.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from ..errors import SimulationError
+from .findings import Finding
+
+#: Schema tag of the baseline document (shared with the report).
+BASELINE_SCHEMA = "repro.check/v1"
+
+BaselineKey = Tuple[str, str, str]
+
+
+def load_baseline(path: Path) -> "Counter[BaselineKey]":
+    """The baseline at *path* as a multiset of finding keys.
+
+    A multiset, not a set: two identical findings in one file (same
+    rule, same message, different lines) need two baseline entries,
+    and fixing one of them must surface the other.
+    """
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SimulationError(f"no baseline file at {path}") from None
+    except json.JSONDecodeError as exc:
+        raise SimulationError(
+            f"baseline {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(document, dict) or "findings" not in document:
+        raise SimulationError(
+            f"baseline {path} lacks a 'findings' list"
+        )
+    keys: "Counter[BaselineKey]" = Counter()
+    for entry in document["findings"]:
+        try:
+            keys[(entry["path"], entry["rule"], entry["message"])] += 1
+        except (TypeError, KeyError) as exc:
+            raise SimulationError(
+                f"baseline {path} entry missing path/rule/message: "
+                f"{entry!r}"
+            ) from exc
+    return keys
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Write *findings* as the new reviewed baseline at *path*."""
+    ordered = sorted(findings, key=Finding.sort_key)
+    document = {
+        "schema": BASELINE_SCHEMA,
+        "count": len(ordered),
+        "findings": [
+            {
+                "path": finding.path,
+                "rule": finding.rule,
+                "message": finding.message,
+            }
+            for finding in ordered
+        ],
+    }
+    Path(path).write_text(json.dumps(document, indent=2) + "\n")
+
+
+def apply_baseline(
+    findings: Iterable[Finding],
+    baseline: "Counter[BaselineKey]",
+) -> Tuple[List[Finding], int, List[Finding]]:
+    """Split findings into (new, baselined_count, stale_entries).
+
+    ``stale_entries`` are BASE001 findings for baseline entries that no
+    longer match anything — the violation was fixed, the entry must go.
+    """
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    baselined = 0
+    for finding in findings:
+        key = finding.baseline_key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined += 1
+        else:
+            new.append(finding)
+    stale = [
+        Finding(
+            rule="BASE001",
+            path=path,
+            line=0,
+            message=(
+                f"stale baseline entry for {rule}: {message!r} no "
+                "longer matches any finding"
+            ),
+            hint="remove the fixed entry from the baseline file",
+        )
+        for (path, rule, message), count in sorted(remaining.items())
+        for _ in range(count)
+    ]
+    return new, baselined, stale

@@ -1,0 +1,127 @@
+"""API rule API001: CLI flags must map onto ``Scenario`` fields.
+
+The CLI is a thin shell over the scenario API: every ``repro run`` /
+``repro sweep`` flag sets exactly one :class:`Scenario` field.  A flag
+added without its field (or after a field rename) produces a
+``TypeError`` only at invocation time, on the one code path the unit
+suites exercise least.  This rule diff's the two surfaces statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from ..base import ProjectCheck, register_check
+from ..config import CheckConfig
+from ..findings import Finding
+from ..source import ModuleSource, Project
+
+
+def _scenario_fields(
+    project: Project, config: CheckConfig
+) -> Optional[Set[str]]:
+    """Field names of the configured ``Scenario`` dataclass."""
+    module = project.get(config.scenario_module)
+    if module is None:
+        return None
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.ClassDef)
+            and node.name == config.scenario_class
+        ):
+            return {
+                statement.target.id
+                for statement in node.body
+                if isinstance(statement, ast.AnnAssign)
+                and isinstance(statement.target, ast.Name)
+            }
+    return None
+
+
+def _flag_dest(call: ast.Call) -> Optional[str]:
+    """argparse dest of one ``add_argument`` call, or ``None``."""
+    for keyword in call.keywords:
+        if keyword.arg == "dest" and isinstance(
+            keyword.value, ast.Constant
+        ):
+            return str(keyword.value.value)
+    for arg in call.args:
+        if not (
+            isinstance(arg, ast.Constant)
+            and isinstance(arg.value, str)
+        ):
+            continue
+        option = arg.value
+        if option.startswith("--"):
+            return option[2:].replace("-", "_")
+    return None
+
+
+@register_check("API001")
+class CliDriftCheck(ProjectCheck):
+    """Every scenario CLI flag maps to a ``Scenario`` field."""
+
+    rule = "API001"
+    description = (
+        "CLI flag with no matching Scenario field: the run facade "
+        "will reject it at invocation time"
+    )
+    hint = (
+        "add the Scenario field, add the flag to cli_field_aliases, "
+        "or review it onto cli_only_flags"
+    )
+
+    def run(
+        self, project: Project, config: CheckConfig
+    ) -> Iterator[Finding]:
+        cli = project.get(config.cli_module)
+        if cli is None:
+            return
+        fields = _scenario_fields(project, config)
+        if fields is None:
+            yield Finding(
+                rule=self.rule,
+                path=config.scenario_module,
+                line=1,
+                message=(
+                    f"scenario class {config.scenario_class} not "
+                    f"found in {config.scenario_module}"
+                ),
+                hint=self.hint,
+            )
+            return
+        for node in ast.walk(cli.tree):
+            if (
+                not isinstance(node, ast.FunctionDef)
+                or node.name not in config.cli_flag_functions
+            ):
+                continue
+            yield from self._check_flags(cli, node, fields, config)
+
+    def _check_flags(
+        self,
+        cli: ModuleSource,
+        function: ast.FunctionDef,
+        fields: Set[str],
+        config: CheckConfig,
+    ) -> Iterator[Finding]:
+        for node in ast.walk(function):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_argument"
+            ):
+                continue
+            dest = _flag_dest(node)
+            if dest is None or dest in config.cli_only_flags:
+                continue
+            field = config.cli_field_aliases.get(dest, dest)
+            if field not in fields:
+                yield self.finding(
+                    cli,
+                    node.lineno,
+                    f"flag --{dest.replace('_', '-')} maps to no "
+                    f"{config.scenario_class} field "
+                    f"(looked for {field!r})",
+                )

@@ -1,0 +1,213 @@
+"""Layout rules LAYOUT001-LAYOUT002.
+
+PR 6 rebuilt the hot-path classes with ``__slots__`` to shed per-pod
+``__dict__`` overhead.  That work is undone silently: add one class
+without slots (LAYOUT001) or inherit from one non-slotted base
+(LAYOUT002) and every instance quietly grows a dict again with no test
+failing.  These rules make the regression a lint error instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..base import ProjectCheck, register_check
+from ..config import CheckConfig
+from ..findings import Finding
+from ..source import ModuleSource, Project
+
+
+def _base_name(node: ast.expr) -> str:
+    """Dotted name of a base-class expression (``abc.ABC``), or ``""``.
+
+    Subscripted bases (``Generic[T]``, ``Protocol[T]``) resolve to the
+    subscripted value's name.
+    """
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _decorator_name(node: ast.expr) -> str:
+    """Name of a decorator, unwrapping calls: ``dataclass(slots=True)``
+    and ``dataclasses.dataclass`` both resolve to ``dataclass``."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _dataclass_slots(node: ast.ClassDef) -> Optional[bool]:
+    """``True``/``False`` if decorated ``@dataclass(slots=...)``;
+    ``None`` if not a dataclass at all."""
+    for decorator in node.decorator_list:
+        if _decorator_name(decorator) != "dataclass":
+            continue
+        if isinstance(decorator, ast.Call):
+            for keyword in decorator.keywords:
+                if keyword.arg == "slots":
+                    value = keyword.value
+                    return (
+                        isinstance(value, ast.Constant)
+                        and value.value is True
+                    )
+        return False
+    return None
+
+
+def _declares_slots(node: ast.ClassDef) -> bool:
+    """Whether the class body assigns ``__slots__`` directly."""
+    for statement in node.body:
+        targets: List[ast.expr] = []
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+        elif isinstance(statement, ast.AnnAssign):
+            targets = [statement.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+def _is_protocol(node: ast.ClassDef) -> bool:
+    """Protocols never get instantiated; slots are meaningless there."""
+    return any(
+        _base_name(base) in ("Protocol", "typing.Protocol")
+        for base in node.bases
+    )
+
+
+class _ClassInfo:
+    """One class definition with its resolved slots status."""
+
+    __slots__ = ("module", "node", "slotted", "protocol")
+
+    def __init__(self, module: ModuleSource, node: ast.ClassDef):
+        self.module = module
+        self.node = node
+        dc_slots = _dataclass_slots(node)
+        self.slotted = (
+            dc_slots if dc_slots is not None else _declares_slots(node)
+        )
+        self.protocol = _is_protocol(node)
+
+
+def _index_classes(project: Project) -> Dict[str, List[_ClassInfo]]:
+    """Every top-level and nested class in the project, by bare name.
+
+    Bare-name resolution is an approximation (no import graph), but
+    within one package tree a base-class name almost always denotes the
+    single project class of that name; ambiguous names resolve
+    pessimistically to "any candidate slotted".
+    """
+    index: Dict[str, List[_ClassInfo]] = {}
+    for module in project:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                index.setdefault(node.name, []).append(
+                    _ClassInfo(module, node)
+                )
+    return index
+
+
+@register_check("LAYOUT001")
+class SlotsRequiredCheck(ProjectCheck):
+    """Every class in a hot-layout module must declare ``__slots__``."""
+
+    rule = "LAYOUT001"
+    description = (
+        "class in a lean-layout hot module without __slots__ (or "
+        "@dataclass(slots=True))"
+    )
+    hint = (
+        "declare __slots__ = (...) or use @dataclass(slots=True); "
+        "instances in hot modules must not carry a __dict__"
+    )
+
+    def run(
+        self, project: Project, config: CheckConfig
+    ) -> Iterator[Finding]:
+        for module in project:
+            if not config.hot_layout(module.relpath):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                info = _ClassInfo(module, node)
+                if info.protocol:
+                    continue  # structural type, never instantiated
+                if info.slotted:
+                    continue
+                if _dataclass_slots(node) is False:
+                    message = (
+                        f"dataclass {node.name} lacks slots=True"
+                    )
+                else:
+                    message = (
+                        f"class {node.name} does not declare __slots__"
+                    )
+                yield self.finding(module, node.lineno, message)
+
+
+@register_check("LAYOUT002")
+class SlottedBaseCheck(ProjectCheck):
+    """A slotted class must not inherit a non-slotted base."""
+
+    rule = "LAYOUT002"
+    description = (
+        "slotted class inherits a non-slotted base: the base's "
+        "__dict__ silently defeats the slots"
+    )
+    hint = (
+        "give the base __slots__ = () (mixins/ABCs) or its own slot "
+        "tuple"
+    )
+
+    def run(
+        self, project: Project, config: CheckConfig
+    ) -> Iterator[Finding]:
+        index = _index_classes(project)
+        for module in project:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                info = _ClassInfo(module, node)
+                if not info.slotted:
+                    continue
+                yield from self._check_bases(
+                    module, node, index, config
+                )
+
+    def _check_bases(
+        self,
+        module: ModuleSource,
+        node: ast.ClassDef,
+        index: Dict[str, List[_ClassInfo]],
+        config: CheckConfig,
+    ) -> Iterator[Finding]:
+        for base in node.bases:
+            name = _base_name(base)
+            if not name or name in config.slotted_external_bases:
+                continue
+            candidates = index.get(name.rsplit(".", 1)[-1])
+            if not candidates:
+                continue  # external base: unknowable, skip
+            if any(c.slotted or c.protocol for c in candidates):
+                continue
+            yield self.finding(
+                module,
+                node.lineno,
+                f"slotted class {node.name} inherits non-slotted "
+                f"base {name}",
+            )

@@ -1,0 +1,22 @@
+"""The check registry: rules plug in exactly like schedulers do.
+
+A separate module (rather than a line in :mod:`repro.registry`) only
+so the analysis package stays self-contained; the registry class — and
+its fail-fast duplicate/unknown-name semantics — is the PR 4 one.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..registry import Registry
+
+#: Static-analysis rules addressable by ``repro check``.  Factories
+#: are called with no arguments and must return a
+#: :class:`repro.analysis.base.Check`.
+CHECKS = Registry("check")
+
+
+def check_names() -> Tuple[str, ...]:
+    """Sorted rule codes of all registered checks."""
+    return CHECKS.names()

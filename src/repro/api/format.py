@@ -37,7 +37,10 @@ def format_table(
     lines = []
     for index, line in enumerate(materialized):
         lines.append(
-            "  ".join(cell.rjust(width) for cell, width in zip(line, widths))
+            "  ".join(
+                cell.rjust(width)
+                for cell, width in zip(line, widths, strict=True)
+            )
         )
         if index == 0:
             lines.append("  ".join("-" * width for width in widths))

@@ -132,7 +132,7 @@ class Scenario:
     node_failures: Sequence[Tuple[float, str]] = ()
     max_sim_seconds: float = 48 * 3600.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         for option_field in (
             "workload_options", "scheduler_options", "priority_classes",
         ):
@@ -242,7 +242,7 @@ class Scenario:
         """The configured strategy instance (for pass-level harnesses)."""
         return make_scheduler(self.to_replay_config())
 
-    def with_(self, **changes) -> "Scenario":
+    def with_(self, **changes: object) -> "Scenario":
         """A copy with *changes* applied (re-validated on build)."""
         valid = {f.name for f in dataclasses.fields(self)}
         unknown = sorted(set(changes) - valid)

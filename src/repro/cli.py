@@ -8,14 +8,17 @@ Usage::
     python -m repro run --scheduler spread --sgx-fraction 0.5 [--json]
     python -m repro sweep --grid sgx_fraction=0,0.5,1 --workers 4
     python -m repro profile --jobs 1000 --top 30 --collapsed-out out.txt
+    python -m repro check --format json --baseline repro-check-baseline.json
 
 The figure commands regenerate the paper's evaluation tables; ``run``
 and ``sweep`` execute ad-hoc scenarios through :mod:`repro.api`, with
 the same row formatter behind the table and ``--json`` output.
 ``profile`` runs one scenario under the profiling harness
 (:mod:`repro.profiling`) and prints the top-frame table, optionally
-writing flame-graph-compatible collapsed stacks.  Exit status is 0 on
-success, 2 on usage errors (including unknown scheduler/workload/
+writing flame-graph-compatible collapsed stacks.  ``check`` runs the
+determinism & invariant static analysis (:mod:`repro.analysis`) over
+the source tree.  Exit status is 0 on success, 1 when ``check`` has
+findings, 2 on usage errors (including unknown scheduler/workload/
 grid-field names, which die before anything runs).
 """
 
@@ -24,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from .api import Scenario, Sweep
@@ -325,6 +329,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write flamegraph.pl-compatible collapsed stacks here",
     )
+    check_parser = subparsers.add_parser(
+        "check",
+        help="run the determinism & invariant static analysis",
+    )
+    check_parser.add_argument(
+        "--root",
+        metavar="PATH",
+        default=None,
+        help="source tree to analyse (default: the installed repro "
+        "package)",
+    )
+    check_parser.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (json follows schema repro.check/v1)",
+    )
+    check_parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="JSON baseline of reviewed findings to grandfather",
+    )
+    check_parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help="write the current findings as the new baseline and exit 0",
+    )
+    check_parser.add_argument(
+        "--rules",
+        metavar="RULE1,RULE2,...",
+        default=None,
+        help="run only these rule codes (default: all registered)",
+    )
     return parser
 
 
@@ -486,6 +525,53 @@ def _cmd_sweep(
     return 0
 
 
+def _cmd_check(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    # Imported here: the analysis machinery is pure stdlib, but no
+    # other command needs it in its import graph.
+    from .analysis import load_baseline, run_checks, write_baseline
+
+    root = (
+        Path(args.root) if args.root is not None else Path(__file__).parent
+    )
+    rules = None
+    if args.rules is not None:
+        rules = [
+            rule.strip()
+            for rule in args.rules.split(",")
+            if rule.strip()
+        ]
+        if not rules:
+            parser.error(f"--rules got no rule codes: {args.rules!r}")
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(Path(args.baseline))
+        except SimulationError as exc:
+            parser.error(str(exc))
+    try:
+        report = run_checks(root, rules=rules, baseline=baseline)
+    except SimulationError as exc:
+        parser.error(str(exc))
+    if args.write_baseline is not None:
+        reviewed = [
+            finding
+            for finding in report.findings
+            if finding.rule not in ("NOQA001", "BASE001")
+        ]
+        write_baseline(Path(args.write_baseline), reviewed)
+        print(
+            f"baseline written: {len(reviewed)} finding(s) -> "
+            f"{args.write_baseline}"
+        )
+        return 0
+    print(
+        report.to_json() if args.format == "json" else report.to_table()
+    )
+    return report.exit_code()
+
+
 def _run_one(name: str, seeds: Tuple[int, int]) -> None:
     description, _needs_trace, run, formatter = _FIGURES[name]
     print(f"== {name}: {description} ==")
@@ -508,6 +594,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{'profile':{width}s}  profile one scenario "
             f"(top frames + collapsed stacks)"
         )
+        print(
+            f"{'check':{width}s}  determinism & invariant static "
+            f"analysis of the source tree"
+        )
         return 0
     if args.command == "all":
         seeds = (args.trace_seed, args.run_seed)
@@ -520,6 +610,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args, parser)
     if args.command == "profile":
         return _cmd_profile(args, parser)
+    if args.command == "check":
+        return _cmd_check(args, parser)
     _run_one(args.command, (args.trace_seed, args.run_seed))
     return 0
 

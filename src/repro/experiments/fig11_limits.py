@@ -104,7 +104,7 @@ def run_fig11(
     )
     runs: Dict[str, Fig11Run] = {}
     for (label, enforce, occupancy), result in zip(
-        RUN_MATRIX, sweep.run()
+        RUN_MATRIX, sweep.run(), strict=True
     ):
         honest = [
             pod

@@ -73,7 +73,7 @@ def run_fig7(
         name="fig7",
     )
     runs: Dict[int, Fig7Run] = {}
-    for size, result in zip(sizes_mib, sweep.run()):
+    for size, result in zip(sizes_mib, sweep.run(), strict=True):
         metrics = result.metrics
         runs[size] = Fig7Run(
             epc_mib=size,

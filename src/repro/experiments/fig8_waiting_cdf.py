@@ -63,7 +63,7 @@ def run_fig8(
         name="fig8",
     )
     runs: Dict[float, Fig8Run] = {}
-    for fraction, result in zip(fractions, sweep.run()):
+    for fraction, result in zip(fractions, sweep.run(), strict=True):
         waits = result.metrics.waiting_times()
         runs[fraction] = Fig8Run(
             sgx_fraction=fraction,

@@ -63,7 +63,7 @@ def run_fig9(
         name="fig9",
     )
     series: Dict[str, Fig9Series] = {}
-    for strategy, result in zip(STRATEGIES, sweep.run()):
+    for strategy, result in zip(STRATEGIES, sweep.run(), strict=True):
         for sgx in (True, False):
             kind = "sgx" if sgx else "standard"
             series[f"{strategy}/{kind}"] = Fig9Series(

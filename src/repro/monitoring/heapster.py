@@ -39,6 +39,8 @@ class PodUsageSource(Protocol):
 class Heapster:
     """Polls Kubelet-like sources and stores per-pod memory points."""
 
+    __slots__ = ("db", "_sources", "_tag_cache")
+
     def __init__(self, db: TimeSeriesDatabase):
         self.db = db
         self._sources: List[PodUsageSource] = []

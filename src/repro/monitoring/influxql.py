@@ -601,7 +601,7 @@ def _execute(
 
     output = []
     for key, members in groups.items():
-        out: Row = dict(zip(query.group_by, key))
+        out: Row = dict(zip(query.group_by, key, strict=True))
         times = [r["time"] for r in members if "time" in r]
         if times:
             out["time"] = max(times)

@@ -47,6 +47,11 @@ class SgxMetricsProbe:
         cgroups are skipped (e.g. enclaves of system daemons).
     """
 
+    __slots__ = (
+        "node_name", "driver", "db", "pod_name_resolver", "_pod_tags",
+        "_gauge_tags",
+    )
+
     def __init__(
         self,
         node_name: str,

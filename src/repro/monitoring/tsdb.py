@@ -131,6 +131,11 @@ class TimeSeriesDatabase:
         drops points older than ``now - retention_seconds``.
     """
 
+    __slots__ = (
+        "retention_seconds", "_series", "_writes", "_subscribers",
+        "scan_count", "aggregate_cache",
+    )
+
     def __init__(self, retention_seconds: Optional[float] = None):
         if retention_seconds is not None and retention_seconds <= 0:
             raise MonitoringError(

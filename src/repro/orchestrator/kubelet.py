@@ -43,7 +43,7 @@ from .pod import Pod
 from .rpc import RpcServer
 
 
-@dataclass
+@dataclass(slots=True)
 class AdmissionResult:
     """Outcome of launching a pod on a node."""
 
@@ -78,6 +78,12 @@ class _PodRecord:
 
 class Kubelet:
     """Node agent: admission, container launch, usage reporting."""
+
+    __slots__ = (
+        "node", "perf_model", "enforce_memory_limits", "registry",
+        "image_cache", "devices", "rpc_server", "_records",
+        "commitment_version", "_committed", "_pod_name_by_cgroup",
+    )
 
     def __init__(
         self,

@@ -56,6 +56,11 @@ def _order_key(pod: Pod):
 class PendingQueue:
     """FCFS pending pods, keyed by uid for O(1) membership."""
 
+    __slots__ = (
+        "requeue_backoff_seconds", "_pods", "_sorted", "_ready_at",
+        "_total_epc_pages", "_total_memory_bytes",
+    )
+
     def __init__(self, requeue_backoff_seconds: float = 0.0):
         if requeue_backoff_seconds < 0:
             raise OrchestrationError(

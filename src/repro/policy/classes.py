@@ -40,7 +40,7 @@ class PriorityClass:
     value: int
     description: str = ""
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
             raise PolicyError(
                 f"priority class names must be non-empty strings, "

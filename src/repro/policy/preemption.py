@@ -187,16 +187,28 @@ class NoPreemption(PreemptionPolicy):
     name = "none"
     never_preempts = True
 
-    def plan(self, preemptor, views_by_name, candidates_by_node, now):
+    def plan(
+        self,
+        preemptor: "Pod",
+        views_by_name: Dict[str, "NodeView"],
+        candidates_by_node: Dict[str, List[EvictionCandidate]],
+        now: float,
+    ) -> Optional[EvictionPlan]:
         return None
 
-    def _ordered(self, candidates):  # pragma: no cover - plan() short-circuits
+    def _ordered(
+        self, candidates: Sequence[EvictionCandidate]
+    ) -> List[EvictionCandidate]:  # pragma: no cover - plan() short-circuits
         return []
 
-    def _cost(self, candidate):  # pragma: no cover - plan() short-circuits
+    def _cost(
+        self, candidate: EvictionCandidate
+    ) -> float:  # pragma: no cover - plan() short-circuits
         return 0.0
 
-    def _score(self, plan):  # pragma: no cover - plan() short-circuits
+    def _score(
+        self, plan: EvictionPlan
+    ) -> Tuple:  # pragma: no cover - plan() short-circuits
         return ()
 
 
@@ -212,7 +224,9 @@ class LowestPriorityFirst(PreemptionPolicy):
 
     name = "lowest-priority-first"
 
-    def _ordered(self, candidates):
+    def _ordered(
+        self, candidates: Sequence[EvictionCandidate]
+    ) -> List[EvictionCandidate]:
         return sorted(
             candidates,
             key=lambda c: (
@@ -222,10 +236,10 @@ class LowestPriorityFirst(PreemptionPolicy):
             ),
         )
 
-    def _cost(self, candidate):
+    def _cost(self, candidate: EvictionCandidate) -> float:
         return float(candidate.pod.spec.priority)
 
-    def _score(self, plan):
+    def _score(self, plan: EvictionPlan) -> Tuple:
         top = max(
             (v.pod.spec.priority for v in plan.victims), default=-1
         )
@@ -251,7 +265,7 @@ class CheapestVictims(PreemptionPolicy):
     #: Standard-memory pages per EPC page, cost-wise.
     MEMORY_DISCOUNT = 256.0
 
-    def _cost(self, candidate):
+    def _cost(self, candidate: EvictionCandidate) -> float:
         memory_pages = bytes_to_pages(candidate.freed.memory_bytes)
         return (
             candidate.measured_epc_pages
@@ -259,10 +273,12 @@ class CheapestVictims(PreemptionPolicy):
             + candidate.lost_work_seconds * self.LOST_WORK_PAGES_PER_SECOND
         )
 
-    def _ordered(self, candidates):
+    def _ordered(
+        self, candidates: Sequence[EvictionCandidate]
+    ) -> List[EvictionCandidate]:
         return sorted(
             candidates, key=lambda c: (self._cost(c), c.pod.uid)
         )
 
-    def _score(self, plan):
+    def _score(self, plan: EvictionPlan) -> Tuple:
         return (plan.cost, len(plan.victims), plan.node_name)

@@ -125,17 +125,17 @@ WORKLOADS = Registry("workload")
 PREEMPTION_POLICIES = Registry("preemption policy")
 
 
-def register_scheduler(name: str):
+def register_scheduler(name: str) -> Callable[[Callable], Callable]:
     """Class/function decorator adding a scheduler strategy by name."""
     return SCHEDULERS.register(name)
 
 
-def register_workload(name: str):
+def register_workload(name: str) -> Callable[[Callable], Callable]:
     """Function decorator adding a workload materialiser by name."""
     return WORKLOADS.register(name)
 
 
-def register_preemption_policy(name: str):
+def register_preemption_policy(name: str) -> Callable[[Callable], Callable]:
     """Class/function decorator adding a preemption planner by name."""
     return PREEMPTION_POLICIES.register(name)
 

@@ -113,7 +113,7 @@ class NodeView:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Assignment:
     """One scheduling decision: pod onto node."""
 
@@ -121,7 +121,7 @@ class Assignment:
     node_name: str
 
 
-@dataclass
+@dataclass(slots=True)
 class SchedulingOutcome:
     """Everything one scheduling pass decided."""
 
@@ -198,6 +198,13 @@ class ClusterStateService:
     :attr:`malformed_rows_skipped` rather than silently folded into a
     shared ``(None, ...)`` bucket.
     """
+
+    __slots__ = (
+        "kubelets", "db", "window_seconds", "cache",
+        "allow_query_cache", "reuse_clean_snapshots", "_last_views",
+        "_last_fingerprint", "snapshots_reused",
+        "malformed_rows_skipped", "_epc_query", "_memory_query",
+    )
 
     def __init__(
         self,
@@ -482,6 +489,13 @@ class Scheduler(abc.ABC):
     """
 
     name = "abstract"
+
+    # ``name`` stays a class attribute (strategies override it), so it
+    # must not appear in the slot tuple.
+    __slots__ = (
+        "use_measured", "strict_fcfs", "preserve_sgx_nodes", "indexed",
+        "_index_statics_cache", "last_selection_stats", "last_index",
+    )
 
     def __init__(
         self,

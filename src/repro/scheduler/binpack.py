@@ -29,6 +29,8 @@ class BinpackScheduler(Scheduler):
 
     name = "sgx-aware-binpack"
 
+    __slots__ = ()
+
     def _select_indexed(
         self, pod: Pod, index: NodeCandidateIndex
     ) -> Tuple[bool, Optional[NodeView]]:

@@ -76,7 +76,7 @@ _STATICS_CACHE_LIMIT = 16
 _NO_AVAILABILITY = (-1, -1, -1)
 
 
-@dataclass
+@dataclass(slots=True)
 class SelectionStats:
     """Observability counters of one indexed scheduling pass."""
 
@@ -103,7 +103,7 @@ class SelectionStats:
     wait_reasons: Dict[str, int] = field(default_factory=dict)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _IndexStatics:
     """Membership-derived structures, reusable across passes."""
 
@@ -338,6 +338,10 @@ class NodeCandidateIndex:
     and call :meth:`note_reserved` after every in-batch placement so
     the dynamic structures track the views' mutation.
     """
+
+    __slots__ = (
+        "views", "stats", "_statics", "non_sgx", "sgx", "_loads",
+    )
 
     def __init__(
         self,

@@ -68,6 +68,11 @@ class EventHandle:
 class SimulationEngine:
     """Event loop with a simulated clock."""
 
+    __slots__ = (
+        "_now", "_queue", "_next_seq", "_fired", "_pending",
+        "_cancelled",
+    )
+
     #: Compact the heap once cancelled handles make up at least half of
     #: it.  The threshold is proportional to the heap size (amortised
     #: O(1) work per cancel, bounded memory overhead of 2x live events)

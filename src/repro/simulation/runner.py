@@ -138,7 +138,7 @@ def _validate_factory_options(
         raise SimulationError(f"{detail}: {exc}") from None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReplayConfig:
     """Parameters of one replay experiment.
 
@@ -325,7 +325,7 @@ class ReplayConfig:
                 )
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplayResult:
     """Outcome of one replay."""
 
@@ -450,6 +450,15 @@ class _RunningJob:
 
 class _Replay:
     """One replay in flight; see :func:`replay_trace`."""
+
+    __slots__ = (
+        "config", "trace", "cluster", "perf", "orchestrator",
+        "scheduler", "engine", "log", "running", "_node_jobs",
+        "_job_seq", "_sgx_node_names", "unsubmitted", "plans",
+        "rebalancer", "queue_series", "migration_count",
+        "passes_executed", "passes_skipped", "preemption_count",
+        "eviction_count", "wait_reasons",
+    )
 
     def __init__(self, trace: Trace, config: ReplayConfig):
         self.config = config

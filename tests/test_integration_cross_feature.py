@@ -115,7 +115,8 @@ class TestHybridOnSgx2:
         # Two 4 GiB pods fill one 8 GiB SGX node; the third goes to the
         # other node — dynamic EPC does nothing for the RAM bound.
         nodes = {a.node_name for a, _ in zip(
-            [p for p, _ in result.launched], result.launched
+            [p for p, _ in result.launched], result.launched,
+            strict=True,
         )}
         assert len(result.launched) == 3
         assert len(nodes) == 2

@@ -59,7 +59,7 @@ class TestAllocationProperties:
                 max_size=len(requests),
             )
         )
-        for owner, pages in zip(owners, requests):
+        for owner, pages in zip(owners, requests, strict=True):
             epc.allocate(owner, pages)
         assert sum(epc.usage_by_owner().values()) == epc.allocated_pages
 

@@ -100,7 +100,7 @@ class TestTracePipelineProperties:
         if times:
             assert times[0] == 0.0
         # Scaling never alters per-job payloads.
-        for before, after in zip(sampled.jobs, final.jobs):
+        for before, after in zip(sampled.jobs, final.jobs, strict=False):
             assert after.duration == before.duration
             assert after.max_memory == before.max_memory
 

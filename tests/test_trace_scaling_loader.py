@@ -76,11 +76,11 @@ class TestRenumber:
         renumbered = renumber_from_zero(window)
         original_gaps = [
             b.submit_time - a.submit_time
-            for a, b in zip(window.jobs, window.jobs[1:])
+            for a, b in zip(window.jobs, window.jobs[1:], strict=False)
         ]
         new_gaps = [
             b.submit_time - a.submit_time
-            for a, b in zip(renumbered.jobs, renumbered.jobs[1:])
+            for a, b in zip(renumbered.jobs, renumbered.jobs[1:], strict=False)
         ]
         assert new_gaps == original_gaps
 
