@@ -12,6 +12,9 @@ metric against the matching row of the committed ``BENCH_*.json``:
   time, non-preemptive vs ``cheapest-victims``), with the
   ``disabled_identical`` flag proving priority-disabled runs stay
   bit-for-bit the oracle across engines;
+* ``traces``       — ``completed`` (windowed-ingestion kept rows and
+  synthetic-replay outcomes), with the ``deterministic`` flag proving
+  every registered spec resolves and replays reproducibly;
 * ``wall``         — ``speedup`` (whole-replay wall clock vs the
   pre-refactor baselines), with the ``engines_identical``
   cross-engine identity flag.  Unlike the advisory sweeps this gate
@@ -81,6 +84,12 @@ GATES = {
         ("pods",),
         "disabled_identical",
     ),
+    "traces": (
+        "BENCH_traces.json",
+        "completed",
+        ("case",),
+        "deterministic",
+    ),
     "wall": (
         "BENCH_wall.json",
         "speedup",
@@ -130,6 +139,13 @@ def fresh_reports(names, quick: bool) -> dict:
                 sizes=(1000,)
                 if quick
                 else run_bench.PREEMPTION_SIZES
+            )
+        elif name == "traces":
+            # Quick mode shrinks the CSV but keeps the fixed window,
+            # so the gated kept-row count still matches the baseline;
+            # the synthetic replays are already small.
+            reports[name] = run_bench.run_traces(
+                csv_rows=20_000 if quick else run_bench.TRACES_CSV_ROWS
             )
         elif name == "wall":
             # Quick mode keeps the smallest size; a hot-path fallback

@@ -1,9 +1,9 @@
 """Benchmark runner: emits ``BENCH_state_cache.json``,
 ``BENCH_event_sched.json``, ``BENCH_sched_scale.json``,
-``BENCH_api_sweep.json``, ``BENCH_preemption.json`` and
-``BENCH_wall.json``.
+``BENCH_api_sweep.json``, ``BENCH_preemption.json``,
+``BENCH_traces.json`` and ``BENCH_wall.json``.
 
-Six sweeps over the scheduling hot path:
+Seven sweeps over the scheduling hot path:
 
 * **state_cache** — the scheduler's per-pass snapshot latency (the two
   Listing-1 sliding-window queries behind
@@ -32,6 +32,12 @@ Six sweeps over the scheduling hot path:
   ``disabled_identical`` flag proving the priority-disabled run is
   bit-for-bit the oracle across the periodic, event-driven and
   indexed engines;
+* **traces** — the trace ecosystem: streaming ``borg-csv`` ingestion
+  throughput over a 100k-row file with a peak-memory comparison of a
+  windowed load versus the full load (the window must stay O(kept
+  rows)), plus EPC-contended replays of two registered synthetic
+  shapes (``synth-bursty``, ``synth-heavytail``) under binpack and
+  spread with a spec-level determinism check;
 * **wall** — whole-replay wall clock at 250–2000 pods for all three
   engines, reported as a speedup against the hard-coded pre-refactor
   baselines (:data:`WALL_BASELINES`, measured at the seed commit of
@@ -58,7 +64,9 @@ import os
 import random
 import statistics
 import sys
+import tempfile
 import time
+import tracemalloc
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -79,6 +87,7 @@ from repro.scheduler.base import (  # noqa: E402
     ClusterStateService,
     NodeView,
 )
+from repro.trace import resolve_trace  # noqa: E402
 from repro.trace.borg import synthetic_scaled_trace  # noqa: E402
 from repro.units import gib, mib, pages  # noqa: E402
 
@@ -406,9 +415,10 @@ def run_api_sweep(
     """
     cluster_workers = max(2, trace_jobs // 125)
     base = Scenario(
-        trace_seed=7,
-        trace_jobs=trace_jobs,
-        trace_overallocators=max(1, trace_jobs // 10),
+        trace=(
+            f"borg-synth:seed=7,jobs={trace_jobs},"
+            f"overallocators={max(1, trace_jobs // 10)}"
+        ),
         seed=1,
         standard_workers=cluster_workers,
         sgx_workers=cluster_workers,
@@ -547,6 +557,125 @@ def run_preemption(sizes=PREEMPTION_SIZES) -> dict:
         "high_fraction": PREEMPTION_HIGH_FRACTION,
         "epc_mib": PREEMPTION_EPC_MIB,
         "window_seconds": PREEMPTION_WINDOW_SECONDS,
+        "results": results,
+    }
+
+
+#: The traces sweep: ingestion throughput and peak memory of the
+#: streaming CSV adapter on a synthetic 100k-row file, and an
+#: EPC-strategy comparison replayed from two registered synthetic
+#: shapes.  The windowed load keeps ``TRACES_WINDOW_SECONDS`` rows
+#: (one submit per second), so its kept count — the gated
+#: ``completed`` metric — is machine-independent even when ``--quick``
+#: shrinks the file.
+TRACES_CSV_ROWS = 100_000
+TRACES_WINDOW_SECONDS = 500
+TRACES_SYNTH_SPECS = (
+    "synth-bursty:seed=3,jobs=800,window=900",
+    "synth-heavytail:seed=3,jobs=800,window=900,max_duration=30m",
+)
+
+
+def _write_traces_csv(path: Path, rows: int) -> None:
+    """A Borg-format CSV with one submission per second."""
+    with path.open("w") as handle:
+        handle.write(
+            "job_id,submit_time_seconds,duration_seconds,"
+            "assigned_memory_fraction,max_memory_fraction\n"
+        )
+        for i in range(rows):
+            handle.write(f"{i},{i}.0,60.0,0.01,0.02\n")
+
+
+def _traced_load(spec: str):
+    """(trace, wall seconds, tracemalloc peak bytes) of one resolve."""
+    tracemalloc.start()
+    start = time.perf_counter()
+    trace = resolve_trace(spec)
+    elapsed = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return trace, elapsed, peak
+
+
+def traces_scenario(spec: str) -> Scenario:
+    """One EPC-contended replay of a registered synthetic shape."""
+    return Scenario(
+        trace=spec,
+        scheduler="binpack",
+        sgx_fraction=SGX_FRACTION,
+        seed=1,
+        indexed_scheduling=True,
+        standard_workers=4,
+        sgx_workers=4,
+    )
+
+
+def run_traces(csv_rows=TRACES_CSV_ROWS) -> dict:
+    """Trace-ecosystem sweep: streaming ingestion + synthetic replays.
+
+    The CSV rows measure that ``borg-csv`` windowing stays O(kept
+    window) in memory (``mem_ratio`` is full-load peak over windowed
+    peak); the synthetic rows replay two registered generator shapes
+    under EPC pressure with binpack and spread, re-running binpack to
+    assert spec-level determinism.
+    """
+    results = []
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "borg_stream.csv"
+        _write_traces_csv(path, csv_rows)
+        full, full_s, full_peak = _traced_load(
+            f"borg-csv:path={path},renumber=false"
+        )
+        window_spec = (
+            f"borg-csv:path={path},window={TRACES_WINDOW_SECONDS}"
+        )
+        windowed, _, windowed_peak = _traced_load(window_spec)
+        rerun, _, _ = _traced_load(window_spec)
+        results.append(
+            {
+                "case": "borg-csv-stream",
+                "rows": len(full),
+                "completed": len(windowed),
+                "ingest_rows_per_s": round(len(full) / full_s),
+                "full_peak_mib": round(full_peak / 2**20, 2),
+                "windowed_peak_mib": round(windowed_peak / 2**20, 2),
+                "mem_ratio": round(full_peak / windowed_peak, 1),
+                "deterministic": (
+                    list(windowed) == list(rerun)
+                    and len(windowed) == TRACES_WINDOW_SECONDS
+                ),
+            }
+        )
+    for spec in TRACES_SYNTH_SPECS:
+        scenario = traces_scenario(spec)
+        start = time.perf_counter()
+        binpack = scenario.run()
+        wall_s = time.perf_counter() - start
+        repeat = scenario.run()
+        spread = scenario.with_(scheduler="spread").run()
+        results.append(
+            {
+                "case": spec.split(":")[0],
+                "spec": spec,
+                "completed": len(binpack.metrics.succeeded),
+                "binpack_makespan_s": round(
+                    binpack.metrics.makespan_seconds, 3
+                ),
+                "spread_makespan_s": round(
+                    spread.metrics.makespan_seconds, 3
+                ),
+                "wall_s": round(wall_s, 3),
+                "deterministic": (
+                    binpack.signature() == repeat.signature()
+                ),
+            }
+        )
+    return {
+        "benchmark": "traces",
+        "csv_rows": csv_rows,
+        "window_seconds": TRACES_WINDOW_SECONDS,
+        "sgx_fraction": SGX_FRACTION,
         "results": results,
     }
 
@@ -735,6 +864,30 @@ def main() -> None:
             f"disabled_identical={row['disabled_identical']}"
         )
     print(f"wrote {preemption_path}")
+
+    traces_report = run_traces()
+    traces_path = Path(__file__).resolve().parent.parent / (
+        "BENCH_traces.json"
+    )
+    traces_path.write_text(json.dumps(traces_report, indent=2) + "\n")
+    for row in traces_report["results"]:
+        if row["case"] == "borg-csv-stream":
+            print(
+                f"borg-csv: {row['rows']} rows at "
+                f"{row['ingest_rows_per_s']} rows/s, peak "
+                f"{row['full_peak_mib']:.1f} MiB full vs "
+                f"{row['windowed_peak_mib']:.1f} MiB windowed "
+                f"({row['mem_ratio']:.0f}x), "
+                f"deterministic={row['deterministic']}"
+            )
+        else:
+            print(
+                f"{row['case']}: {row['completed']} completed, "
+                f"binpack {row['binpack_makespan_s']:.0f} s vs "
+                f"spread {row['spread_makespan_s']:.0f} s makespan, "
+                f"deterministic={row['deterministic']}"
+            )
+    print(f"wrote {traces_path}")
 
     wall_report = run_wall()
     wall_path = Path(__file__).resolve().parent.parent / (

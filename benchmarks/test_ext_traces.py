@@ -1,0 +1,45 @@
+"""Extension bench: the trace ecosystem's ingestion and replay sweep.
+
+Reuses the ``run_traces`` builders from ``run_bench.py`` on a small
+configuration: the streaming ``borg-csv`` adapter must keep a windowed
+load's peak memory well under the full load's, and every registered
+synthetic shape must replay deterministically.  ``run_bench.py`` is the
+standalone runner that records the full-size comparison to
+``BENCH_traces.json``.
+"""
+
+from __future__ import annotations
+
+from run_bench import (
+    TRACES_SYNTH_SPECS,
+    TRACES_WINDOW_SECONDS,
+    run_traces,
+    traces_scenario,
+)
+
+
+def test_traces_sweep_small():
+    report = run_traces(csv_rows=5_000)
+    rows = {row["case"]: row for row in report["results"]}
+    assert set(rows) == {
+        "borg-csv-stream",
+        "synth-bursty",
+        "synth-heavytail",
+    }
+    for row in rows.values():
+        assert row["deterministic"] is True
+    csv_row = rows["borg-csv-stream"]
+    assert csv_row["rows"] == 5_000
+    assert csv_row["completed"] == TRACES_WINDOW_SECONDS
+    # The windowed load must not buffer the whole file.
+    assert csv_row["mem_ratio"] > 2.0
+    for spec in TRACES_SYNTH_SPECS:
+        name = spec.split(":")[0]
+        assert rows[name]["completed"] > 0
+
+
+def test_synth_replays_differ_between_shapes():
+    """The shapes are real workload variety, not renamed copies."""
+    bursty = traces_scenario(TRACES_SYNTH_SPECS[0]).run()
+    heavytail = traces_scenario(TRACES_SYNTH_SPECS[1]).run()
+    assert bursty.pod_signature() != heavytail.pod_signature()

@@ -10,6 +10,7 @@ Rule                  Hazard
 ``LAYOUT001``         hot-module class without ``__slots__``
 ``LAYOUT002``         slotted class inheriting a non-slotted base
 ``REG001``            registry factory signature / duplicate names
+``TRACE001``          trace-adapter signature / duplicate names
 ``API001``            CLI flag with no matching ``Scenario`` field
 ====================  =================================================
 
@@ -23,3 +24,4 @@ from . import api_drift  # noqa: F401
 from . import determinism  # noqa: F401
 from . import layout  # noqa: F401
 from . import registry_conformance  # noqa: F401
+from . import trace_conformance  # noqa: F401

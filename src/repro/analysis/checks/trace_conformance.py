@@ -1,0 +1,111 @@
+"""Trace rule TRACE001: adapter conformance and duplicate names.
+
+Trace adapters register with ``@register_trace("name")`` and are
+always called ``factory(spec=..., seed=...)`` by
+:func:`repro.trace.adapters.resolve_trace`.  The registry catches a
+duplicate name only when both modules are imported in one process,
+and a factory missing the ``spec``/``seed`` keywords fails only when
+its spec is first resolved — possibly deep inside a sweep.  This rule
+checks both at lint time, mirroring what REG001 does for the
+scheduler/workload/policy registries (whose call contracts differ,
+hence the separate rule).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Tuple
+
+from ..base import ProjectCheck, register_check
+from ..config import CheckConfig
+from ..findings import Finding
+from ..source import ModuleSource, Project
+from .registry_conformance import (
+    _class_index,
+    _registration,
+    _resolve_init,
+    _Signature,
+)
+
+
+@register_check("TRACE001")
+class TraceConformanceCheck(ProjectCheck):
+    """Registered trace adapters: unique names, resolver-callable."""
+
+    rule = "TRACE001"
+    description = (
+        "trace-adapter drift: duplicate registered name, or a "
+        "factory that cannot accept the resolver's spec/seed keywords"
+    )
+    hint = (
+        "trace adapters are called factory(spec=..., seed=...); "
+        "accept both keywords (directly or via **kwargs) and register "
+        "a unique string-literal name"
+    )
+
+    def run(
+        self, project: Project, config: CheckConfig
+    ) -> Iterator[Finding]:
+        kinds = {
+            config.trace_decorator: (config.trace_factory_keywords, 0)
+        }
+        index = _class_index(project)
+        seen: Dict[str, Tuple[ModuleSource, int]] = {}
+        for module in project:
+            for node in ast.walk(module.tree):
+                registration = _registration(node, kinds)
+                if registration is None:
+                    continue
+                kind, name = registration
+                assert isinstance(
+                    node, (ast.FunctionDef, ast.ClassDef)
+                )
+                if name is None:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"{kind}(...) name is not a string literal; "
+                        "duplicate detection cannot see it",
+                    )
+                elif name in seen:
+                    first_module, first_line = seen[name]
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"duplicate trace adapter name {name!r} "
+                        "(first registered at "
+                        f"{first_module.relpath}:{first_line})",
+                    )
+                else:
+                    seen[name] = (module, node.lineno)
+                yield from self._check_signature(
+                    module, node, config, index
+                )
+
+    def _check_signature(
+        self,
+        module: ModuleSource,
+        node: "ast.FunctionDef | ast.ClassDef",
+        config: CheckConfig,
+        index: Dict[str, ast.ClassDef],
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.FunctionDef):
+            signature = _Signature(node.args, drop_self=False)
+        else:
+            init = _resolve_init(node, index)
+            if init is None:
+                return  # default/external __init__: nothing to check
+            signature = _Signature(init.args, drop_self=True)
+        missing = sorted(
+            keyword
+            for keyword in config.trace_factory_keywords
+            if not signature.accepts(keyword)
+        )
+        if missing:
+            yield self.finding(
+                module,
+                node.lineno,
+                f"trace adapter {node.name} does not accept "
+                f"keyword(s) {', '.join(missing)}; the resolver "
+                "calls factory(spec=..., seed=...)",
+            )

@@ -105,6 +105,12 @@ class CheckConfig:
         }
     )
 
+    #: TRACE001: the trace-adapter registration decorator and the
+    #: keywords :func:`repro.trace.adapters.resolve_trace` calls every
+    #: factory with (``factory(spec=..., seed=...)``).
+    trace_decorator: str = "register_trace"
+    trace_factory_keywords: Tuple[str, ...] = ("spec", "seed")
+
     def wall_clock_scoped(self, relpath: str, package: str) -> bool:
         """Whether DET002 applies to the module at *relpath*."""
         if relpath in self.wall_clock_exempt:

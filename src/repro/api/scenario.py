@@ -21,20 +21,18 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from ..constants import (
-    DEFAULT_TRACE_SEED,
     EPC_TOTAL_BYTES,
     METRICS_PUSH_PERIOD_SECONDS,
     SCHEDULER_PERIOD_SECONDS,
-    TRACE_OVERALLOCATOR_COUNT,
-    TRACE_SCALED_JOB_COUNT,
 )
 from ..errors import SimulationError
 from ..policy.classes import DEFAULT_PREEMPTION_THRESHOLD
-from ..registry import WORKLOADS
+from ..registry import TRACES, WORKLOADS
 from ..scheduler.base import Scheduler
 from ..simulation.metrics import ReplayMetrics
 from ..simulation.runner import (
@@ -44,8 +42,9 @@ from ..simulation.runner import (
     make_scheduler,
     run_replay,
 )
-from ..trace.borg import synthetic_scaled_trace
+from ..trace.adapters import resolve_trace
 from ..trace.schema import Trace
+from ..trace.spec import make_trace_spec, parse_trace_spec
 from ..workload.malicious import MaliciousConfig
 from .format import RUN_SCHEMA, format_table
 
@@ -57,6 +56,14 @@ class Scenario:
     Defaults reproduce the paper's testbed (2 standard + 2 SGX
     workers, 128 MiB PRM, periodic full-scan scheduling) replaying the
     default scaled trace with the binpack strategy and no SGX jobs.
+
+    The workload comes from the ``trace`` spec — any adapter in
+    :data:`repro.registry.TRACES` (``repro traces`` lists them)::
+
+        Scenario(trace="borg-synth:seed=7,jobs=500").run()
+        Scenario(trace="synth-bursty:seed=3,jobs=500").run()
+        Scenario(trace="google2019:path=ev.jsonl,window=1h,sample=0.05")
+        Scenario(trace=my_trace)          # an explicit Trace object
     """
 
     #: Optional display name; shows up as the row label in tables.
@@ -81,11 +88,19 @@ class Scenario:
     malicious: Optional[MaliciousConfig] = None
 
     # -- trace source ------------------------------------------------------
-    #: Explicit trace; overrides the synthesis knobs below when set.
-    trace: Optional[Trace] = None
-    trace_seed: int = DEFAULT_TRACE_SEED
-    #: ``None`` keeps the paper's 663-job scaled slice.
+    #: What to replay: a trace spec string resolved through
+    #: :data:`repro.registry.TRACES` — e.g. ``"borg-synth:seed=7,
+    #: jobs=500"``, ``"google2019:path=ev.jsonl,window=1h"``,
+    #: ``"synth-bursty:seed=3,jobs=500"`` — or an explicit
+    #: :class:`Trace`.  ``None`` replays the paper's default scaled
+    #: slice (``"borg-synth"``).  ``repro traces`` lists the catalogue.
+    trace: Optional[Union[Trace, str]] = None
+    #: .. deprecated:: use ``trace="borg-synth:seed=..."``.  Kept as a
+    #:    warning alias; rewritten into the spec above at construction.
+    trace_seed: Optional[int] = None
+    #: .. deprecated:: use ``trace="borg-synth:jobs=..."``.
     trace_jobs: Optional[int] = None
+    #: .. deprecated:: use ``trace="borg-synth:overallocators=..."``.
     trace_overallocators: Optional[int] = None
 
     # -- cluster shape -----------------------------------------------------
@@ -146,15 +161,6 @@ class Scenario:
             "node_failures",
             tuple(tuple(failure) for failure in self.node_failures),
         )
-        if self.trace is not None and (
-            self.trace_jobs is not None
-            or self.trace_overallocators is not None
-        ):
-            raise SimulationError(
-                "an explicit trace conflicts with trace_jobs/"
-                "trace_overallocators: the synthesis knobs would be "
-                "silently ignored; set one or the other"
-            )
         if self.trace_jobs is not None and self.trace_jobs < 1:
             raise SimulationError(
                 f"trace_jobs must be >= 1: {self.trace_jobs}"
@@ -167,10 +173,68 @@ class Scenario:
                 "trace_overallocators must be >= 0: "
                 f"{self.trace_overallocators}"
             )
+        self._rewrite_legacy_trace_knobs()
+        if isinstance(self.trace, str):
+            # Die at construction, not mid-replay: the name must be a
+            # registered adapter (the error lists the sorted known
+            # ones) and the spec must parse.
+            TRACES.get(parse_trace_spec(self.trace).name)
         # The engine config performs the rest of the validation
         # (fractions, periods, worker counts, registry names), so a
         # scenario can never exist that the engine would reject later.
         self.to_replay_config()
+
+    def _rewrite_legacy_trace_knobs(self) -> None:
+        """Fold the deprecated ``trace_*`` knobs into a spec string.
+
+        ``trace_seed``/``trace_jobs``/``trace_overallocators`` were
+        the original synthesis interface; each maps one-to-one onto a
+        ``borg-synth`` spec option and routes through the identical
+        generator call, so results stay bit-for-bit the same.  Over an
+        existing ``borg-synth`` spec (e.g. ``with_(trace_seed=5)`` on
+        an already-rewritten scenario) the knobs merge in, knob
+        winning per key — exactly the old ``dataclasses.replace``
+        semantics.  Over an explicit :class:`Trace` or a non-Borg spec
+        they contradict and die.
+        """
+        knobs = {}
+        if self.trace_seed is not None:
+            knobs["seed"] = self.trace_seed
+        if self.trace_jobs is not None:
+            knobs["jobs"] = self.trace_jobs
+        if self.trace_overallocators is not None:
+            knobs["overallocators"] = self.trace_overallocators
+        if not knobs:
+            return
+        options: Dict[str, object] = {}
+        if isinstance(self.trace, str):
+            spec = parse_trace_spec(self.trace)
+            if spec.name != "borg-synth":
+                raise SimulationError(
+                    f"an explicit trace spec ({self.trace!r}) "
+                    "conflicts with the deprecated trace_seed/"
+                    "trace_jobs/trace_overallocators knobs; fold them "
+                    "into the spec instead"
+                )
+            options.update(spec.options)
+        elif self.trace is not None:
+            raise SimulationError(
+                "an explicit trace conflicts with trace_seed/"
+                "trace_jobs/trace_overallocators: the synthesis knobs "
+                "would be silently ignored; set one or the other"
+            )
+        options.update(knobs)
+        replacement = make_trace_spec("borg-synth", options.items())
+        warnings.warn(
+            "Scenario trace_seed/trace_jobs/trace_overallocators are "
+            f"deprecated; use trace={replacement!r}",
+            DeprecationWarning,
+            stacklevel=4,
+        )
+        object.__setattr__(self, "trace", replacement)
+        object.__setattr__(self, "trace_seed", None)
+        object.__setattr__(self, "trace_jobs", None)
+        object.__setattr__(self, "trace_overallocators", None)
 
     # -- derived views -----------------------------------------------------
 
@@ -219,24 +283,15 @@ class Scenario:
         )
 
     def build_trace(self) -> Trace:
-        """The trace this scenario replays (synthesised or explicit).
+        """The trace this scenario replays (resolved or explicit).
 
-        A shrunk/grown trace keeps the paper's over-allocator share
-        (44 of 663 jobs) unless ``trace_overallocators`` pins it.
+        Spec strings resolve through :data:`repro.registry.TRACES`;
+        an explicit :class:`Trace` is returned as-is; ``None`` means
+        the paper's default scaled slice.
         """
-        if self.trace is not None:
+        if isinstance(self.trace, Trace):
             return self.trace
-        kwargs = {}
-        if self.trace_jobs is not None:
-            kwargs["n_jobs"] = self.trace_jobs
-            kwargs["overallocators"] = round(
-                self.trace_jobs
-                * TRACE_OVERALLOCATOR_COUNT
-                / TRACE_SCALED_JOB_COUNT
-            )
-        if self.trace_overallocators is not None:
-            kwargs["overallocators"] = self.trace_overallocators
-        return synthetic_scaled_trace(seed=self.trace_seed, **kwargs)
+        return resolve_trace(self.trace or "borg-synth")
 
     def build_scheduler(self) -> Scheduler:
         """The configured strategy instance (for pass-level harnesses)."""

@@ -6,6 +6,8 @@ Usage::
     python -m repro fig7 [--trace-seed N] [--run-seed N]
     python -m repro all
     python -m repro run --scheduler spread --sgx-fraction 0.5 [--json]
+    python -m repro run --trace synth-bursty:seed=3,jobs=500 --json
+    python -m repro traces
     python -m repro sweep --grid sgx_fraction=0,0.5,1 --workers 4
     python -m repro profile --jobs 1000 --top 30 --collapsed-out out.txt
     python -m repro check --format json --baseline repro-check-baseline.json
@@ -32,7 +34,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from .api import Scenario, Sweep
 from .constants import DEFAULT_RUN_SEED, DEFAULT_TRACE_SEED
-from .errors import RegistryError, SimulationError
+from .errors import RegistryError, SimulationError, TraceError
 from .experiments import common
 from .experiments.ext_hybrid import format_ext_hybrid, run_ext_hybrid
 from .experiments.ext_sgx2 import format_ext_sgx2, run_ext_sgx2
@@ -50,6 +52,8 @@ from .profiling import (
     DEFAULT_TOP,
     profile_scenario,
 )
+from .trace.adapters import trace_catalogue
+from .trace.spec import make_trace_spec
 from .units import mib
 
 #: name -> (description, needs_trace, run, format)
@@ -177,16 +181,29 @@ def _scenario_flags() -> argparse.ArgumentParser:
         help="per-run randomness seed (default %(default)s)",
     )
     parent.add_argument(
+        "--trace",
+        metavar="SPEC",
+        default=None,
+        help="trace spec 'name:key=val,...' resolved through the "
+        "trace-adapter registry, e.g. 'borg-synth:seed=7,jobs=500' "
+        "or 'google2019:path=ev.jsonl,window=1h,sample=0.05'; "
+        "'repro traces' lists the catalogue (default: the paper's "
+        "scaled Borg slice)",
+    )
+    parent.add_argument(
         "--trace-seed",
         type=int,
-        default=DEFAULT_TRACE_SEED,
-        help="seed of the synthetic Borg trace (default %(default)s)",
+        default=None,
+        help="seed of the synthetic Borg trace (shorthand for "
+        "--trace borg-synth:seed=N; default "
+        f"{DEFAULT_TRACE_SEED})",
     )
     parent.add_argument(
         "--jobs",
         type=int,
         default=None,
-        help="trace jobs (default: the paper's 663-job slice)",
+        help="trace jobs (shorthand for --trace borg-synth:jobs=N; "
+        "default: the paper's 663-job slice)",
     )
     parent.add_argument(
         "--epc-mib",
@@ -265,6 +282,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers.add_parser(
         "list", parents=[seeds], help="list the available commands"
+    )
+    traces_parser = subparsers.add_parser(
+        "traces",
+        help="list the registered trace adapters (the --trace catalogue)",
+    )
+    traces_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the catalogue as a JSON array",
     )
 
     scenario_flags = _scenario_flags()
@@ -420,6 +446,36 @@ def _parse_grid(
     return grid
 
 
+def _trace_spec(args: argparse.Namespace) -> Optional[str]:
+    """The ``trace=`` spec the shared flags describe, if any.
+
+    ``--trace-seed``/``--jobs`` are shorthands that fold into a
+    ``borg-synth`` spec (so the CLI never routes through the
+    deprecated scenario knobs); combined with an explicit ``--trace``
+    they would contradict it and die as a usage error.
+    """
+    shorthands = {}
+    if args.trace_seed is not None:
+        shorthands["seed"] = args.trace_seed
+    if args.jobs is not None:
+        # build_trace scales the over-allocator share with the count.
+        shorthands["jobs"] = args.jobs
+    if args.trace is not None:
+        if shorthands:
+            flags = "/".join(
+                "--trace-seed" if key == "seed" else "--jobs"
+                for key in sorted(shorthands)
+            )
+            raise SimulationError(
+                f"--trace conflicts with {flags}; fold the value "
+                f"into the spec (e.g. --trace borg-synth:seed=7)"
+            )
+        return args.trace
+    if shorthands:
+        return make_trace_spec("borg-synth", shorthands.items())
+    return None
+
+
 def _base_scenario(args: argparse.Namespace) -> Scenario:
     """The scenario described by the shared ``run``/``sweep`` flags."""
     kwargs: Dict[str, object] = dict(
@@ -427,16 +483,15 @@ def _base_scenario(args: argparse.Namespace) -> Scenario:
         workload=args.workload,
         sgx_fraction=args.sgx_fraction,
         seed=args.seed,
-        trace_seed=args.trace_seed,
         event_driven=args.event_driven,
         indexed_scheduling=args.indexed,
         use_state_cache=not args.no_state_cache,
         preemption_policy=args.preemption_policy,
         preemption_priority_threshold=args.priority_threshold,
     )
-    if args.jobs is not None:
-        # build_trace scales the over-allocator share with the count.
-        kwargs["trace_jobs"] = args.jobs
+    trace = _trace_spec(args)
+    if trace is not None:
+        kwargs["trace"] = trace
     if args.epc_mib is not None:
         kwargs["epc_total_bytes"] = int(mib(args.epc_mib))
     cluster_workers = args.cluster_workers
@@ -456,9 +511,16 @@ def _cmd_run(
 ) -> int:
     try:
         scenario = _base_scenario(args)
-    except (SimulationError, RegistryError, TypeError, ValueError) as exc:
+    except (
+        SimulationError, RegistryError, TraceError, TypeError, ValueError
+    ) as exc:
         parser.error(str(exc))
-    result = scenario.run()
+    try:
+        result = scenario.run()
+    except TraceError as exc:
+        # File-backed specs resolve lazily at run time; a missing or
+        # corrupt trace file is user input, not an internal failure.
+        parser.error(str(exc))
     print(result.to_json() if args.json else result.to_table())
     return 0
 
@@ -476,11 +538,16 @@ def _cmd_profile(
             raise SimulationError(
                 f"--sample-interval must be >= 0: {args.sample_interval}"
             )
-    except (SimulationError, RegistryError, TypeError, ValueError) as exc:
+    except (
+        SimulationError, RegistryError, TraceError, TypeError, ValueError
+    ) as exc:
         parser.error(str(exc))
-    result, report = profile_scenario(
-        scenario, top=args.top, sample_interval=args.sample_interval
-    )
+    try:
+        result, report = profile_scenario(
+            scenario, top=args.top, sample_interval=args.sample_interval
+        )
+    except TraceError as exc:
+        parser.error(str(exc))
     if args.collapsed_out is not None:
         report.write_collapsed(args.collapsed_out)
     if args.json:
@@ -518,10 +585,33 @@ def _cmd_sweep(
             )
     # TypeError/ValueError cover grid values that a structured field
     # rejects before validation proper (e.g. node_failures=5).
-    except (SimulationError, RegistryError, TypeError, ValueError) as exc:
+    except (
+        SimulationError, RegistryError, TraceError, TypeError, ValueError
+    ) as exc:
         parser.error(str(exc))
-    outcome = sweep.run(workers=args.workers)
+    try:
+        outcome = sweep.run(workers=args.workers)
+    except TraceError as exc:
+        parser.error(str(exc))
     print(outcome.to_json() if args.json else outcome.to_table())
+    return 0
+
+
+def _cmd_traces(args: argparse.Namespace) -> int:
+    """The trace-adapter catalogue, one row per registered name."""
+    entries = trace_catalogue()
+    if args.json:
+        print(
+            json.dumps(
+                [entry._asdict() for entry in entries], indent=2
+            )
+        )
+        return 0
+    width = max(len(entry.name) for entry in entries)
+    for entry in entries:
+        needs = " (needs path=...)" if entry.needs_path else ""
+        print(f"{entry.name:{width}s}  {entry.summary}{needs}")
+        print(f"{'':{width}s}  e.g. --trace {entry.spec_example}")
     return 0
 
 
@@ -598,7 +688,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{'check':{width}s}  determinism & invariant static "
             f"analysis of the source tree"
         )
+        print(
+            f"{'traces':{width}s}  the registered trace adapters "
+            f"(--trace catalogue)"
+        )
         return 0
+    if args.command == "traces":
+        return _cmd_traces(args)
     if args.command == "all":
         seeds = (args.trace_seed, args.run_seed)
         for name in sorted(_FIGURES):

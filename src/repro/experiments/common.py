@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from ..api.format import format_table
 from ..constants import DEFAULT_RUN_SEED, DEFAULT_TRACE_SEED
-from ..trace.borg import synthetic_scaled_trace
+from ..trace.adapters import resolve_trace
 from ..trace.schema import Trace
 
 __all__ = [
@@ -21,5 +21,10 @@ __all__ = [
 
 
 def default_trace(seed: int = DEFAULT_TRACE_SEED) -> Trace:
-    """The evaluation workload shared by all figure drivers."""
-    return synthetic_scaled_trace(seed=seed)
+    """The evaluation workload shared by all figure drivers.
+
+    Resolved through the trace-adapter registry — the same path
+    ``Scenario(trace="borg-synth:seed=N")`` takes — so the figures
+    and ad-hoc scenarios can never drift apart on trace synthesis.
+    """
+    return resolve_trace(f"borg-synth:seed={seed}")

@@ -124,6 +124,14 @@ WORKLOADS = Registry("workload")
 #: orchestrator.
 PREEMPTION_POLICIES = Registry("preemption policy")
 
+#: Trace adapters addressable by ``Scenario(trace="name:key=val,...")``.
+#: Factories are called as ``factory(spec=TraceSpec, seed=int)`` —
+#: ``seed`` is the spec's ``seed`` option resolved against
+#: ``DEFAULT_TRACE_SEED`` — and must return a
+#: :class:`repro.trace.schema.Trace`.  The built-ins live in
+#: :mod:`repro.trace.adapters`; ``repro traces`` lists the catalogue.
+TRACES = Registry("trace adapter")
+
 
 def register_scheduler(name: str) -> Callable[[Callable], Callable]:
     """Class/function decorator adding a scheduler strategy by name."""
@@ -140,6 +148,11 @@ def register_preemption_policy(name: str) -> Callable[[Callable], Callable]:
     return PREEMPTION_POLICIES.register(name)
 
 
+def register_trace(name: str) -> Callable[[Callable], Callable]:
+    """Function decorator adding a trace adapter by name."""
+    return TRACES.register(name)
+
+
 def scheduler_names() -> Tuple[str, ...]:
     """Sorted names of all registered scheduling strategies."""
     return SCHEDULERS.names()
@@ -153,3 +166,8 @@ def workload_names() -> Tuple[str, ...]:
 def preemption_policy_names() -> Tuple[str, ...]:
     """Sorted names of all registered preemption planners."""
     return PREEMPTION_POLICIES.names()
+
+
+def trace_names() -> Tuple[str, ...]:
+    """Sorted names of all registered trace adapters."""
+    return TRACES.names()

@@ -78,6 +78,7 @@ from ..registry import PREEMPTION_POLICIES, SCHEDULERS, WORKLOADS
 from ..scheduler.base import Scheduler
 from ..scheduler.rebalancer import EpcRebalancer
 from ..sgx.perf import SgxPerfModel
+from ..trace.adapters import resolve_trace
 from ..trace.schema import Trace
 from ..workload.malicious import MaliciousConfig
 from ..workload.stress import SubmissionPlan
@@ -460,7 +461,11 @@ class _Replay:
         "eviction_count", "wait_reasons",
     )
 
-    def __init__(self, trace: Trace, config: ReplayConfig):
+    def __init__(self, trace, config: ReplayConfig):
+        # A trace spec string ("borg-synth:seed=7,jobs=500") resolves
+        # through the TRACES registry, same as Scenario(trace=...).
+        if isinstance(trace, str):
+            trace = resolve_trace(trace)
         self.config = config
         self.trace = trace
         cluster_kwargs = dict(
@@ -945,16 +950,18 @@ class _Replay:
         )
 
 
-def run_replay(trace: Trace, config: ReplayConfig) -> ReplayResult:
+def run_replay(trace, config: ReplayConfig) -> ReplayResult:
     """The replay engine proper; :class:`repro.api.Scenario` drives it.
 
-    Identical to :func:`replay_trace` minus the deprecation warning —
-    the scenario layer is the supported caller.
+    *trace* is a :class:`Trace`, a trace spec string resolved through
+    :data:`repro.registry.TRACES`, or ``None`` for workloads that
+    never read it.  Identical to :func:`replay_trace` minus the
+    deprecation warning — the scenario layer is the supported caller.
     """
     return _Replay(trace, config).run()
 
 
-def replay_trace(trace: Trace, config: ReplayConfig) -> ReplayResult:
+def replay_trace(trace, config: ReplayConfig) -> ReplayResult:
     """Replay *trace* under *config*; fully deterministic per seed.
 
     .. deprecated::

@@ -13,23 +13,38 @@ duration CDF of Fig. 4, the max-memory CDF of Fig. 3 and the concurrency
 band of Fig. 5.  All evaluation numbers in the paper are functions of
 these marginals at the scaled size, which is what the substitution
 preserves.
+
+Beyond the paper's workload, :mod:`repro.trace.adapters` turns the
+package into an ecosystem: any workload — public Google 2019 /
+Alibaba 2018 / Azure dumps, parameterised synthetic stress shapes, or
+a third-party plugin — is addressable through one spec string
+(``"google2019:path=ev.jsonl,window=1h,sample=0.05"``) resolved via
+:func:`resolve_trace`.
 """
 
+from .adapters import resolve_trace, trace_catalogue
 from .borg import BorgTraceGenerator, synthetic_scaled_trace
 from .loader import load_borg_csv
 from .scaling import renumber_from_zero, sample_stride, slice_window
 from .schema import JobRecord, Trace
+from .spec import TraceSpec, format_trace_spec, make_trace_spec, parse_trace_spec
 from .stats import cdf_at, empirical_cdf
 
 __all__ = [
     "BorgTraceGenerator",
     "JobRecord",
     "Trace",
+    "TraceSpec",
     "cdf_at",
     "empirical_cdf",
+    "format_trace_spec",
     "load_borg_csv",
+    "make_trace_spec",
+    "parse_trace_spec",
     "renumber_from_zero",
+    "resolve_trace",
     "sample_stride",
     "slice_window",
     "synthetic_scaled_trace",
+    "trace_catalogue",
 ]

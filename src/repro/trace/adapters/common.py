@@ -1,0 +1,125 @@
+"""Shared machinery for the trace adapters.
+
+File-backed adapters all answer the same four knobs — ``start``,
+``window``, ``sample``/``stride`` and ``limit`` — by threading the
+record stream through the windowing/downsampling combinators of
+:mod:`repro.trace.scaling` before anything is materialised.  The
+window is *relative to the first record's submit time* (``start=0``
+is the beginning of the trace), which is the only sane reading for
+public traces timestamped in epoch microseconds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from ...errors import TraceError
+from ..scaling import iter_stride, renumber_from_zero
+from ..schema import JobRecord, Trace
+from ..spec import SpecOptions
+
+
+@dataclass(frozen=True)
+class StreamScaling:
+    """The parsed scaling knobs of one file-backed spec."""
+
+    start: Optional[float] = None
+    window: Optional[float] = None
+    stride: int = 1
+    limit: Optional[int] = None
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.start is not None
+            or self.window is not None
+            or self.stride != 1
+            or self.limit is not None
+        )
+
+
+def read_scaling(options: SpecOptions) -> StreamScaling:
+    """Claim and parse the shared scaling options.
+
+    ``sample`` is a keep-fraction mapped onto the nearest stride
+    (``sample=0.05`` keeps every 20th record — the paper's own
+    frequency reduction, deterministic and streaming-friendly);
+    ``stride`` names the stride directly.  Both together are a
+    contradiction and die.
+    """
+    start = options.duration("start", None)
+    window = options.duration("window", None)
+    sample = options.fraction("sample", None)
+    stride = options.integer("stride", None, minimum=1)
+    limit = options.integer("limit", None, minimum=1)
+    if sample is not None and stride is not None:
+        raise TraceError(
+            "trace spec options 'sample' and 'stride' both given; "
+            "they set the same downsampling knob"
+        )
+    if sample is not None:
+        if sample <= 0.0:
+            raise TraceError(
+                f"trace spec option 'sample' must be in (0, 1], "
+                f"got {sample:g}"
+            )
+        stride = max(1, round(1.0 / sample))
+    if start is not None and start < 0:
+        raise TraceError(
+            f"trace spec option 'start' must be >= 0, got {start:g}"
+        )
+    if window is not None and window <= 0:
+        raise TraceError(
+            f"trace spec option 'window' must be positive, "
+            f"got {window:g}"
+        )
+    return StreamScaling(
+        start=start, window=window, stride=stride or 1, limit=limit
+    )
+
+
+def iter_relative_window(
+    records: Iterable[JobRecord], start: float, end: float
+) -> Iterator[JobRecord]:
+    """Records submitted within ``[start, end)`` of the trace's origin.
+
+    The origin is the first record's submit time, captured on the fly
+    — no extra pass over the file.  Records outside the window are
+    dropped as they stream past, never materialised.
+    """
+    origin: Optional[float] = None
+    for job in records:
+        if origin is None:
+            origin = job.submit_time
+        offset = job.submit_time - origin
+        if start <= offset < end:
+            yield job
+
+
+def apply_scaling(
+    records: Iterable[JobRecord], scaling: StreamScaling
+) -> Iterator[JobRecord]:
+    """Window → downsample → limit, all streaming."""
+    if scaling.start is not None or scaling.window is not None:
+        start = scaling.start or 0.0
+        end = (
+            start + scaling.window
+            if scaling.window is not None
+            else float("inf")
+        )
+        records = iter_relative_window(records, start, end)
+    if scaling.stride != 1:
+        records = iter_stride(records, scaling.stride)
+    if scaling.limit is not None:
+        records = itertools.islice(records, scaling.limit)
+    return iter(records)
+
+
+def materialise(
+    records: Iterable[JobRecord], renumber: bool
+) -> Trace:
+    """The kept records as a :class:`Trace`, renumbered to t=0 if asked."""
+    trace = Trace(records)
+    return renumber_from_zero(trace) if renumber else trace

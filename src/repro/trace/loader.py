@@ -4,64 +4,63 @@ The 2011 trace ships as CSV tables (Reiss et al., "Google cluster-usage
 traces: format + schema").  The paper joins the *job events* and *task
 usage* tables to extract four per-job metrics; users who have downloaded
 the public trace can produce a four-column CSV in that shape and load it
-here, then push it through :func:`repro.trace.scaling.scale_pipeline`.
+here, then push it through :func:`repro.trace.scaling.scale_pipeline` —
+or replay it directly via ``Scenario(trace="borg-csv:path=...")``.
 
 Expected columns (header optional, comma-separated)::
 
     job_id, submit_time_seconds, duration_seconds,
     assigned_memory_fraction, max_memory_fraction
+
+:func:`iter_borg_csv` is the streaming core: records come off the file
+one at a time, so the adapter layer can window/downsample a large file
+without ever materialising it whole.  :func:`load_borg_csv` keeps its
+historical signature as a thin wrapper.
 """
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Union
+from typing import Iterator, Union
 
 from ..errors import TraceError
 from .schema import JobRecord, Trace
+from .stream import csv_rows, row_error
 
 _COLUMNS = 5
+
+
+def iter_borg_csv(path: Union[str, Path]) -> Iterator[JobRecord]:
+    """Stream a prepared Borg-trace CSV as :class:`JobRecord` values.
+
+    Lines starting with ``#`` and a header row (detected by a
+    non-numeric first field) are skipped.  Raises
+    :class:`~repro.errors.TraceError` with ``path:line`` context on
+    malformed rows so silent data corruption cannot skew experiments.
+    """
+    for line_number, row in csv_rows(path, columns=_COLUMNS):
+        try:
+            yield JobRecord(
+                job_id=int(row[0]),
+                submit_time=float(row[1]),
+                duration=float(row[2]),
+                assigned_memory=float(row[3]),
+                max_memory=float(row[4]),
+            )
+        except (ValueError, TraceError) as exc:
+            raise row_error(
+                path, line_number, f"bad job record: {exc}"
+            ) from exc
 
 
 def load_borg_csv(path: Union[str, Path]) -> Trace:
     """Load a prepared Borg-trace CSV into a :class:`Trace`.
 
-    Lines starting with ``#`` and a header row (detected by a non-numeric
-    first field) are skipped.  Raises :class:`~repro.errors.TraceError`
-    on malformed rows so silent data corruption cannot skew experiments.
+    Streams the file through :func:`iter_borg_csv` — the rows are
+    never held twice, only the resulting records.
     """
-    path = Path(path)
-    if not path.exists():
-        raise TraceError(f"trace file not found: {path}")
-    jobs = []
-    with path.open(newline="") as handle:
-        reader = csv.reader(handle)
-        for line_number, row in enumerate(reader, start=1):
-            if not row or row[0].lstrip().startswith("#"):
-                continue
-            if line_number == 1 and not _is_numeric(row[0]):
-                continue  # header
-            if len(row) != _COLUMNS:
-                raise TraceError(
-                    f"{path}:{line_number}: expected {_COLUMNS} columns, "
-                    f"got {len(row)}"
-                )
-            try:
-                jobs.append(
-                    JobRecord(
-                        job_id=int(row[0]),
-                        submit_time=float(row[1]),
-                        duration=float(row[2]),
-                        assigned_memory=float(row[3]),
-                        max_memory=float(row[4]),
-                    )
-                )
-            except (ValueError, TraceError) as exc:
-                raise TraceError(
-                    f"{path}:{line_number}: bad job record: {exc}"
-                ) from exc
-    return Trace(jobs)
+    return Trace(iter_borg_csv(path))
 
 
 def dump_borg_csv(trace: Trace, path: Union[str, Path]) -> None:
@@ -88,11 +87,3 @@ def dump_borg_csv(trace: Trace, path: Union[str, Path]) -> None:
                     f"{job.max_memory:.8f}",
                 ]
             )
-
-
-def _is_numeric(text: str) -> bool:
-    try:
-        float(text)
-    except ValueError:
-        return False
-    return True

@@ -16,13 +16,52 @@ from the public CSVs or synthesised.
 
 from __future__ import annotations
 
+from typing import Iterable, Iterator
+
 from ..constants import (
     TRACE_SAMPLING_STRIDE,
     TRACE_SLICE_END_SECONDS,
     TRACE_SLICE_START_SECONDS,
 )
 from ..errors import TraceError
-from .schema import Trace
+from .schema import JobRecord, Trace
+
+
+def iter_window(
+    jobs: Iterable[JobRecord],
+    start_seconds: float,
+    end_seconds: float,
+) -> Iterator[JobRecord]:
+    """Stream of the jobs *submitted* within ``[start, end)``.
+
+    A generator, so the streaming trace adapters can clip a multi-GB
+    file's record stream without materialising the rows outside the
+    window; :func:`slice_window` is this over a whole :class:`Trace`.
+    """
+    if end_seconds <= start_seconds:
+        raise TraceError(
+            f"empty window: [{start_seconds}, {end_seconds})"
+        )
+    for job in jobs:
+        if start_seconds <= job.submit_time < end_seconds:
+            yield job
+
+
+def iter_stride(
+    jobs: Iterable[JobRecord], stride: int, offset: int = 0
+) -> Iterator[JobRecord]:
+    """Every *stride*-th record of a job stream, starting at *offset*.
+
+    The streaming counterpart of :func:`sample_stride`: frequency
+    reduction applied on the fly, holding no more than one record.
+    """
+    if stride <= 0:
+        raise TraceError(f"stride must be positive, got {stride}")
+    if offset < 0:
+        raise TraceError(f"offset must be non-negative, got {offset}")
+    for index, job in enumerate(jobs):
+        if index >= offset and (index - offset) % stride == 0:
+            yield job
 
 
 def slice_window(
@@ -31,26 +70,14 @@ def slice_window(
     end_seconds: float = TRACE_SLICE_END_SECONDS,
 ) -> Trace:
     """Jobs *submitted* within ``[start, end)``, original timestamps kept."""
-    if end_seconds <= start_seconds:
-        raise TraceError(
-            f"empty window: [{start_seconds}, {end_seconds})"
-        )
-    return Trace(
-        job
-        for job in trace
-        if start_seconds <= job.submit_time < end_seconds
-    )
+    return Trace(iter_window(trace, start_seconds, end_seconds))
 
 
 def sample_stride(
     trace: Trace, stride: int = TRACE_SAMPLING_STRIDE, offset: int = 0
 ) -> Trace:
     """Every *stride*-th job of *trace*, starting at *offset*."""
-    if stride <= 0:
-        raise TraceError(f"stride must be positive, got {stride}")
-    if offset < 0:
-        raise TraceError(f"offset must be non-negative, got {offset}")
-    return Trace(trace.jobs[offset::stride])
+    return Trace(iter_stride(trace.jobs, stride, offset))
 
 
 def renumber_from_zero(trace: Trace) -> Trace:

@@ -10,6 +10,7 @@ absolute values — and is mapped to bytes only at materialisation time.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, List
 
@@ -60,12 +61,30 @@ class JobRecord:
 
 
 class Trace:
-    """An ordered collection of job records."""
+    """An ordered collection of job records.
+
+    Construction validates the submit-time axis **once**: every
+    submit time and duration must be finite.  :class:`JobRecord`'s own
+    guards use comparisons, which NaN slips past (``NaN < 0`` is
+    false) — and a NaN submit time would silently corrupt the sort
+    that everything downstream (replay order, windowing, renumbering)
+    relies on.  After the sort, submit times are monotone and the
+    first record's non-negativity guarantee covers the rest.
+    """
 
     def __init__(self, jobs: Iterable[JobRecord] = ()):
         self._jobs: List[JobRecord] = sorted(
             jobs, key=lambda j: (j.submit_time, j.job_id)
         )
+        for job in self._jobs:
+            if not (
+                math.isfinite(job.submit_time)
+                and math.isfinite(job.duration)
+            ):
+                raise TraceError(
+                    f"job {job.job_id}: non-finite submit time "
+                    f"({job.submit_time}) or duration ({job.duration})"
+                )
 
     def __len__(self) -> int:
         return len(self._jobs)

@@ -432,6 +432,101 @@ class TestReg001RegistryConformance:
         assert any("string literal" in f.message for f in findings)
 
 
+class TestTrace001AdapterConformance:
+    def test_duplicate_name_fires_with_first_location(self):
+        proj = project(
+            trace__adapters__a="""
+                from ....registry import register_trace
+
+                @register_trace("borg-synth")
+                def build_a(spec, seed):
+                    return None
+            """,
+            trace__adapters__b="""
+                from ....registry import register_trace
+
+                @register_trace("borg-synth")
+                def build_b(spec, seed):
+                    return None
+            """,
+        )
+        findings = analyze_project(proj, rules=["TRACE001"])
+        duplicates = [f for f in findings if "duplicate" in f.message]
+        assert len(duplicates) == 1
+        assert "trace/adapters/a.py" in duplicates[0].message
+
+    def test_missing_seed_keyword_fires(self):
+        proj = project(trace__adapters__a="""
+            from ....registry import register_trace
+
+            @register_trace("narrow")
+            def build(spec):
+                return None
+        """)
+        findings = analyze_project(proj, rules=["TRACE001"])
+        assert any(
+            "does not accept" in f.message and "seed" in f.message
+            for f in findings
+        )
+
+    def test_kwargs_catch_all_is_clean(self):
+        proj = project(trace__adapters__a="""
+            from ....registry import register_trace
+
+            @register_trace("wide")
+            def build(**kwargs):
+                return None
+        """)
+        assert rules_fired(proj, ["TRACE001"]) == []
+
+    def test_spec_seed_signature_is_clean(self):
+        proj = project(trace__adapters__a="""
+            from ....registry import register_trace
+
+            @register_trace("exact")
+            def build(spec, seed):
+                return None
+        """)
+        assert rules_fired(proj, ["TRACE001"]) == []
+
+    def test_non_literal_name_fires(self):
+        proj = project(trace__adapters__a="""
+            from ....registry import register_trace
+
+            NAME = "dynamic"
+
+            @register_trace(NAME)
+            def build(spec, seed):
+                return None
+        """)
+        findings = analyze_project(proj, rules=["TRACE001"])
+        assert any("string literal" in f.message for f in findings)
+
+    def test_class_adapter_init_checked(self):
+        proj = project(trace__adapters__a="""
+            from ....registry import register_trace
+
+            @register_trace("classy")
+            class Adapter:
+                def __init__(self, spec=None):
+                    pass
+        """)
+        findings = analyze_project(proj, rules=["TRACE001"])
+        assert any("seed" in f.message for f in findings)
+
+    def test_other_registries_not_confused(self):
+        # A workload factory has a different contract; TRACE001 must
+        # ignore it even when REG001 would fire.
+        proj = project(workload__a="""
+            from ..registry import register_workload
+
+            @register_workload("stress")
+            def plans(cluster, trace, **options):
+                return []
+        """)
+        assert rules_fired(proj, ["TRACE001"]) == []
+
+
 SCENARIO_FIXTURE = """
     from dataclasses import dataclass
 
@@ -585,7 +680,7 @@ class TestFramework:
     def test_all_rules_registered(self):
         assert list(check_names()) == [
             "API001", "DET001", "DET002", "DET003", "DET004",
-            "LAYOUT001", "LAYOUT002", "REG001",
+            "LAYOUT001", "LAYOUT002", "REG001", "TRACE001",
         ]
 
     def test_unknown_rule_rejected(self):

@@ -196,7 +196,7 @@ class TestPluginWorkload:
             result = Scenario(
                 workload="test-two-pods",
                 workload_options={"duration": 45.0},
-                trace_jobs=1,  # trace is built but unused by the plugin
+                trace="borg-synth:jobs=1",  # built but unused by the plugin
             ).run()
             assert len(result.metrics.pods) == 2
             assert len(result.metrics.succeeded) == 2
@@ -212,7 +212,7 @@ class TestPluginWorkload:
                 "epc_occupancy": 0.25,
                 "duration_seconds": 120.0,
             },
-            trace_jobs=1,
+            trace="borg-synth:jobs=1",
         ).run()
         # One squatter per SGX node on the paper's 2-node inventory.
         assert len(result.metrics.pods) == 2

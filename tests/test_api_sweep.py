@@ -36,7 +36,7 @@ class TestExpandGrid:
 class TestSweepExpansion:
     def test_grid_expansion(self):
         sweep = Sweep(
-            Scenario(trace_jobs=10),
+            Scenario(trace="borg-synth:jobs=10"),
             grid={
                 "scheduler": ("binpack", "spread"),
                 "sgx_fraction": (0.0, 1.0),
@@ -54,7 +54,7 @@ class TestSweepExpansion:
 
     def test_variations_cross_grid(self):
         sweep = Sweep(
-            Scenario(trace_jobs=10),
+            Scenario(trace="borg-synth:jobs=10"),
             variations=[{"seed": 1}, {"seed": 2}],
             grid={"sgx_fraction": (0.0, 1.0)},
         )
@@ -66,24 +66,24 @@ class TestSweepExpansion:
         ]
 
     def test_no_axes_is_the_base_alone(self):
-        base = Scenario(trace_jobs=10)
+        base = Scenario(trace="borg-synth:jobs=10")
         sweep = Sweep(base)
         assert list(sweep) == [base]
 
     def test_unknown_field_dies_at_construction(self):
         with pytest.raises(SimulationError, match="warp"):
-            Sweep(Scenario(trace_jobs=10), grid={"warp": (1,)})
+            Sweep(Scenario(trace="borg-synth:jobs=10"), grid={"warp": (1,)})
 
     def test_invalid_value_dies_at_construction(self):
         with pytest.raises(SimulationError, match="sgx_fraction"):
             Sweep(
-                Scenario(trace_jobs=10),
+                Scenario(trace="borg-synth:jobs=10"),
                 grid={"sgx_fraction": (0.0, 3.0)},
             )
 
     @pytest.mark.parametrize("workers", [0, -1, 1.5, "four"])
     def test_bad_workers_rejected(self, workers):
-        sweep = Sweep(Scenario(trace_jobs=10))
+        sweep = Sweep(Scenario(trace="borg-synth:jobs=10"))
         with pytest.raises(SimulationError, match="workers"):
             sweep.run(workers=workers)
 

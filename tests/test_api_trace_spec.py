@@ -1,0 +1,195 @@
+"""Scenario/CLI trace= spec plumbing and the deprecated knob aliases."""
+
+import json
+
+import pytest
+
+from repro.api import Scenario
+from repro.cli import main
+from repro.errors import RegistryError, SimulationError
+from repro.simulation import ReplayConfig, replay_trace
+from repro.trace import synthetic_scaled_trace
+
+LEGACY = dict(trace_seed=7, trace_jobs=60, trace_overallocators=9)
+SPEC = "borg-synth:jobs=60,overallocators=9,seed=7"
+
+
+def _legacy_scenario(**extra):
+    with pytest.warns(DeprecationWarning):
+        return Scenario(**LEGACY, **extra)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "engine",
+        [
+            {},
+            {"event_driven": True},
+            {"indexed_scheduling": True},
+        ],
+        ids=["periodic", "event-driven", "indexed"],
+    )
+    def test_legacy_knobs_and_spec_run_identically(self, engine):
+        legacy = _legacy_scenario(sgx_fraction=0.5, **engine).run()
+        spec = Scenario(trace=SPEC, sgx_fraction=0.5, **engine).run()
+        assert legacy.signature() == spec.signature()
+
+    def test_legacy_knobs_build_identical_trace(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = Scenario(trace_jobs=40)
+        explicit = Scenario(trace="borg-synth:jobs=40")
+        expected = synthetic_scaled_trace(
+            seed=42, n_jobs=40, overallocators=round(40 * 44 / 663)
+        )
+        assert list(legacy.build_trace()) == list(expected)
+        assert list(explicit.build_trace()) == list(expected)
+
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
+    def test_replay_trace_accepts_spec_string(self):
+        via_string = replay_trace(
+            "borg-synth:seed=7,jobs=40", ReplayConfig(sgx_fraction=0.5)
+        )
+        via_trace = replay_trace(
+            synthetic_scaled_trace(
+                seed=7, n_jobs=40, overallocators=round(40 * 44 / 663)
+            ),
+            ReplayConfig(sgx_fraction=0.5),
+        )
+        assert (
+            via_string.metrics.makespan_seconds
+            == via_trace.metrics.makespan_seconds
+        )
+        assert len(via_string.plans) == len(via_trace.plans) == 40
+
+
+class TestDeprecatedKnobs:
+    def test_knobs_rewrite_into_spec_and_clear(self):
+        scenario = _legacy_scenario()
+        assert scenario.trace == SPEC
+        assert scenario.trace_seed is None
+        assert scenario.trace_jobs is None
+        assert scenario.trace_overallocators is None
+
+    def test_warning_names_replacement(self):
+        with pytest.warns(DeprecationWarning, match="borg-synth:jobs=60"):
+            Scenario(trace_jobs=60)
+
+    def test_partial_knobs_rewrite(self):
+        with pytest.warns(DeprecationWarning):
+            scenario = Scenario(trace_seed=5)
+        assert scenario.trace == "borg-synth:seed=5"
+
+    def test_with_merges_knob_into_existing_spec(self):
+        scenario = _legacy_scenario()
+        with pytest.warns(DeprecationWarning):
+            bumped = scenario.with_(trace_jobs=100)
+        # Per-key merge: jobs updated, overallocators/seed retained —
+        # exactly what dataclasses.replace did before the redesign.
+        assert bumped.trace == (
+            "borg-synth:jobs=100,overallocators=9,seed=7"
+        )
+
+    def test_knob_conflicts_with_trace_object(self, small_trace):
+        with pytest.raises(SimulationError, match="explicit trace"):
+            Scenario(trace=small_trace, trace_seed=5)
+
+    def test_knob_conflicts_with_non_borg_spec(self):
+        with pytest.raises(SimulationError, match="explicit trace spec"):
+            Scenario(trace="synth-bursty:jobs=40", trace_seed=5)
+
+    def test_validation_still_eager(self):
+        with pytest.raises(SimulationError):
+            Scenario(trace_jobs=0)
+        with pytest.raises(SimulationError):
+            Scenario(trace_overallocators=-1)
+
+
+class TestSpecValidation:
+    def test_unknown_adapter_fails_at_construction(self):
+        with pytest.raises(RegistryError, match="warp-drive"):
+            Scenario(trace="warp-drive:seed=1")
+
+    def test_bad_grammar_fails_at_construction(self):
+        from repro.errors import TraceError
+
+        with pytest.raises(TraceError):
+            Scenario(trace="Borg Synth!!")
+
+    def test_bad_options_fail_at_build(self):
+        scenario = Scenario(trace="borg-synth:warp=9")
+        from repro.errors import TraceError
+
+        with pytest.raises(TraceError, match="unknown option"):
+            scenario.build_trace()
+
+    def test_trace_object_passes_through(self, small_trace):
+        assert Scenario(trace=small_trace).build_trace() is small_trace
+
+
+class TestCli:
+    def test_run_with_trace_spec(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--trace",
+                    "synth-bursty:seed=3,jobs=50",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["submitted"] == 50
+
+    def test_shorthands_still_work_without_warning(
+        self, capsys, recwarn
+    ):
+        assert main(["run", "--jobs", "30", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["submitted"] == 30
+        assert not [
+            w
+            for w in recwarn
+            if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_trace_conflicts_with_shorthands(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["run", "--trace", "borg-synth", "--trace-seed", "7"]
+            )
+        assert excinfo.value.code == 2
+        assert "--trace conflicts" in capsys.readouterr().err
+
+    def test_missing_trace_file_exits_2(self, capsys):
+        # File-backed specs resolve lazily inside run(); the CLI must
+        # still turn the TraceError into a usage error, not a
+        # traceback.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--trace", "borg-csv:path=/nope.csv"])
+        assert excinfo.value.code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_unknown_adapter_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--trace", "warp-drive:seed=1"])
+        assert excinfo.value.code == 2
+        assert "warp-drive" in capsys.readouterr().err
+
+    def test_traces_command_lists_catalogue(self, capsys):
+        assert main(["traces"]) == 0
+        out = capsys.readouterr().out
+        for name in ("borg-synth", "google2019", "synth-heavytail"):
+            assert name in out
+        assert "needs path=" in out
+
+    def test_traces_json(self, capsys):
+        assert main(["traces", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        names = [entry["name"] for entry in entries]
+        assert "borg-synth" in names
+        assert all(
+            set(entry) == {"name", "summary", "spec_example", "needs_path"}
+            for entry in entries
+        )

@@ -111,7 +111,7 @@ class TestHarness:
         scenario = Scenario(
             scheduler="binpack",
             workload="stress",
-            trace_jobs=12,
+            trace="borg-synth:jobs=12",
             standard_workers=2,
             sgx_workers=2,
         )

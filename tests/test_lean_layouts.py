@@ -18,7 +18,7 @@ from repro.orchestrator.pod import Pod
 from repro.scheduler.base import NodeView
 from repro.simulation.engine import SimulationEngine
 
-TINY = dict(trace_jobs=20, sgx_fraction=0.5, seed=3)
+TINY = dict(trace="borg-synth:jobs=20", sgx_fraction=0.5, seed=3)
 
 
 class TestPickleRoundTrips:

@@ -1,0 +1,152 @@
+"""Streaming readers: bounded memory, header/comment handling, errors."""
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import Trace, load_borg_csv, resolve_trace
+from repro.trace.schema import JobRecord
+from repro.trace.stream import csv_rows, jsonl_rows
+
+
+def _write_big_borg_csv(path, rows):
+    with path.open("w") as handle:
+        handle.write(
+            "job_id,submit_time_seconds,duration_seconds,"
+            "assigned_memory_fraction,max_memory_fraction\n"
+        )
+        for i in range(rows):
+            handle.write(f"{i},{i}.0,60.0,0.01,0.02\n")
+
+
+class TestBoundedMemory:
+    def test_windowed_load_uses_far_less_than_full_load(self, tmp_path):
+        """A narrow window over a 100k-row file must not buffer the file.
+
+        The window keeps 500 of 100_000 rows; if the reader
+        materialised every row before filtering, the two peaks would
+        be comparable.
+        """
+        path = tmp_path / "big.csv"
+        _write_big_borg_csv(path, 100_000)
+
+        tracemalloc.start()
+        full = load_borg_csv(path)
+        _, full_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert len(full) == 100_000
+        del full
+
+        tracemalloc.start()
+        windowed = resolve_trace(f"borg-csv:path={path},window=500")
+        _, windowed_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert len(windowed) == 500
+        assert windowed_peak < full_peak / 10
+
+    def test_limit_short_circuits(self, tmp_path):
+        path = tmp_path / "big.csv"
+        _write_big_borg_csv(path, 100_000)
+        tracemalloc.start()
+        limited = resolve_trace(f"borg-csv:path={path},limit=100")
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert len(limited) == 100
+        assert peak < 2_000_000  # a 100k-record list is far larger
+
+
+class TestCsvRows:
+    def test_header_comments_blanks_skipped(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(
+            "# a comment\n"
+            "\n"
+            "id,start,duration\n"
+            "1,0.0,60\n"
+            "# mid-file comment\n"
+            "2,5.0,30\n"
+        )
+        rows = list(csv_rows(path, columns=3, numeric_probe=1))
+        assert [line for line, _ in rows] == [4, 6]
+        assert rows[0][1] == ["1", "0.0", "60"]
+
+    def test_headerless_file_keeps_first_row(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("1,0.0,60\n2,5.0,30\n")
+        rows = list(csv_rows(path, columns=3, numeric_probe=1))
+        assert len(rows) == 2
+
+    def test_arity_mismatch_carries_line(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("1,0.0,60\n2,5.0\n")
+        with pytest.raises(
+            TraceError, match=r"t\.csv:2: expected 3 columns, got 2"
+        ):
+            list(csv_rows(path, columns=3, numeric_probe=1))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="not found"):
+            list(csv_rows(tmp_path / "absent.csv"))
+
+
+class TestJsonlRows:
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            "# comment\n\n" + json.dumps({"a": 1}) + "\n"
+        )
+        assert list(jsonl_rows(path)) == [(3, {"a": 1})]
+
+    def test_bad_json_carries_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"ok": 1}\n{broken\n')
+        with pytest.raises(TraceError, match=r"t\.jsonl:2: bad JSON"):
+            list(jsonl_rows(path))
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(TraceError, match="expected a JSON object"):
+            list(jsonl_rows(path))
+
+
+class TestLoaderErrors:
+    def test_malformed_numeric_carries_line(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(
+            "job_id,submit_time_seconds,duration_seconds,"
+            "assigned_memory_fraction,max_memory_fraction\n"
+            "0,0.0,60.0,0.01,0.02\n"
+            "1,zap,60.0,0.01,0.02\n"
+        )
+        with pytest.raises(TraceError, match=r"t\.csv:3"):
+            load_borg_csv(path)
+
+    def test_nan_rejected_by_trace_validation(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(
+            "job_id,submit_time_seconds,duration_seconds,"
+            "assigned_memory_fraction,max_memory_fraction\n"
+            "0,nan,60.0,0.01,0.02\n"
+        )
+        with pytest.raises(TraceError, match="finite"):
+            load_borg_csv(path)
+
+    def test_trace_rejects_nan_duration(self):
+        record = JobRecord(
+            job_id=0,
+            submit_time=0.0,
+            duration=60.0,
+            assigned_memory=0.1,
+            max_memory=0.1,
+        )
+        bad = object.__new__(JobRecord)
+        object.__setattr__(bad, "job_id", 1)
+        object.__setattr__(bad, "submit_time", 0.0)
+        object.__setattr__(bad, "duration", float("nan"))
+        object.__setattr__(bad, "assigned_memory", 0.1)
+        object.__setattr__(bad, "max_memory", 0.1)
+        with pytest.raises(TraceError, match="finite"):
+            Trace([record, bad])
