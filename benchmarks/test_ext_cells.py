@@ -1,0 +1,44 @@
+"""Smoke test: the sharded-scheduling bench harness runs end-to-end.
+
+The full sweep (2k-100k pods, the ``BENCH_cells.json`` baseline) is
+``run_bench.py``'s job; tier-1 only proves the harness works on one
+tiny configuration and that its headline invariants — repeat runs are
+bit-for-bit identical and the sharded replay completes the same
+workload as the flat oracle — hold there too.
+"""
+
+from run_bench import CELLS_COUNTS, CELLS_SIZES, cells_scenario, run_cells
+
+
+class TestCellsBench:
+    def test_tiny_sweep_runs(self):
+        report = run_cells(sizes=(200,), counts=(2,))
+        assert report["benchmark"] == "cells"
+        assert report["cell_policy"] == "balanced"
+        flat, sharded = report["results"]
+        assert (flat["pods"], flat["cells"]) == (200, 1)
+        assert (sharded["pods"], sharded["cells"]) == (200, 2)
+        assert flat["speedup"] == 1.0
+        assert flat["spillovers"] == 0
+        for row in (flat, sharded):
+            assert row["deterministic"] is True
+            assert row["wall_s"] > 0
+            assert row["nodes"] == 4
+        # The sharded replay completes the same workload as the flat
+        # oracle — sharding shifts wall clock, never outcomes.
+        assert sharded["completed"] == flat["completed"] == 200
+
+    def test_committed_sweep_shape(self):
+        # The committed baseline covers the 2k quick point (the CI
+        # gate's only fresh run) plus the scaling curve to 100k.
+        assert CELLS_SIZES[0] == 2_000
+        assert CELLS_SIZES[-1] == 100_000
+        assert all(count > 1 for count in CELLS_COUNTS)
+
+    def test_scenario_variants_differ_only_by_cells(self):
+        flat = cells_scenario(2_000)
+        sharded = cells_scenario(2_000, cells=4)
+        assert flat.cells is None
+        assert sharded.cells == 4
+        assert flat.standard_workers == sharded.standard_workers == 16
+        assert flat.scheduler == sharded.scheduler == "binpack"

@@ -1,0 +1,111 @@
+"""Cell rule CELL001: partition-policy conformance, duplicate names.
+
+Cell policies register with ``@register_cell_policy("name")`` and are
+always called ``factory(nodes=..., cells=..., seed=...)`` by
+:func:`repro.cells.policies.partition_nodes`.  As with trace adapters,
+the registry catches a duplicate name only when both modules land in
+one process, and a factory missing the required keywords fails only
+when a sharded replay first partitions a cluster with it — so both are
+checked at lint time, mirroring REG001/TRACE001 (whose call contracts
+differ, hence the separate rule).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Tuple
+
+from ..base import ProjectCheck, register_check
+from ..config import CheckConfig
+from ..findings import Finding
+from ..source import ModuleSource, Project
+from .registry_conformance import (
+    _class_index,
+    _registration,
+    _resolve_init,
+    _Signature,
+)
+
+
+@register_check("CELL001")
+class CellConformanceCheck(ProjectCheck):
+    """Registered cell policies: unique names, partitioner-callable."""
+
+    rule = "CELL001"
+    description = (
+        "cell-policy drift: duplicate registered name, or a factory "
+        "that cannot accept the partitioner's nodes/cells/seed "
+        "keywords"
+    )
+    hint = (
+        "cell policies are called factory(nodes=..., cells=..., "
+        "seed=...); accept all three keywords (directly or via "
+        "**kwargs) and register a unique string-literal name"
+    )
+
+    def run(
+        self, project: Project, config: CheckConfig
+    ) -> Iterator[Finding]:
+        kinds = {
+            config.cell_decorator: (config.cell_factory_keywords, 0)
+        }
+        index = _class_index(project)
+        seen: Dict[str, Tuple[ModuleSource, int]] = {}
+        for module in project:
+            for node in ast.walk(module.tree):
+                registration = _registration(node, kinds)
+                if registration is None:
+                    continue
+                kind, name = registration
+                assert isinstance(
+                    node, (ast.FunctionDef, ast.ClassDef)
+                )
+                if name is None:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"{kind}(...) name is not a string literal; "
+                        "duplicate detection cannot see it",
+                    )
+                elif name in seen:
+                    first_module, first_line = seen[name]
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"duplicate cell policy name {name!r} "
+                        "(first registered at "
+                        f"{first_module.relpath}:{first_line})",
+                    )
+                else:
+                    seen[name] = (module, node.lineno)
+                yield from self._check_signature(
+                    module, node, config, index
+                )
+
+    def _check_signature(
+        self,
+        module: ModuleSource,
+        node: "ast.FunctionDef | ast.ClassDef",
+        config: CheckConfig,
+        index: Dict[str, ast.ClassDef],
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.FunctionDef):
+            signature = _Signature(node.args, drop_self=False)
+        else:
+            init = _resolve_init(node, index)
+            if init is None:
+                return  # default/external __init__: nothing to check
+            signature = _Signature(init.args, drop_self=True)
+        missing = sorted(
+            keyword
+            for keyword in config.cell_factory_keywords
+            if not signature.accepts(keyword)
+        )
+        if missing:
+            yield self.finding(
+                module,
+                node.lineno,
+                f"cell policy {node.name} does not accept "
+                f"keyword(s) {', '.join(missing)}; the partitioner "
+                "calls factory(nodes=..., cells=..., seed=...)",
+            )

@@ -27,6 +27,7 @@ class CheckConfig:
     #: here would desynchronise replays from the oracle.
     simulated_time_packages: FrozenSet[str] = _frozen(
         "simulation", "orchestrator", "scheduler", "sgx", "monitoring",
+        "cells",
     )
     #: DET002: modules exempt by design (the profiling harness measures
     #: real wall time on purpose).
@@ -36,7 +37,7 @@ class CheckConfig:
     #: evictions or event order — iteration order is behaviour there.
     decision_path_packages: FrozenSet[str] = _frozen(
         "simulation", "orchestrator", "scheduler", "sgx", "policy",
-        "monitoring", "cluster",
+        "monitoring", "cluster", "cells",
     )
 
     #: LAYOUT001/LAYOUT002: the PR 6 lean-layout modules.  Every class
@@ -56,6 +57,10 @@ class CheckConfig:
         "monitoring/tsdb.py",
         "monitoring/probe.py",
         "monitoring/heapster.py",
+        "cells/engine.py",
+        "cells/queue.py",
+        "cells/dispatch.py",
+        "cells/runner.py",
     )
     #: LAYOUT: base classes known to be slot-free-safe (empty slots).
     slotted_external_bases: FrozenSet[str] = _frozen(
@@ -110,6 +115,12 @@ class CheckConfig:
     #: factory with (``factory(spec=..., seed=...)``).
     trace_decorator: str = "register_trace"
     trace_factory_keywords: Tuple[str, ...] = ("spec", "seed")
+
+    #: CELL001: the cell-policy registration decorator and the keywords
+    #: :func:`repro.cells.policies.partition_nodes` calls every factory
+    #: with (``factory(nodes=..., cells=..., seed=...)``).
+    cell_decorator: str = "register_cell_policy"
+    cell_factory_keywords: Tuple[str, ...] = ("nodes", "cells", "seed")
 
     def wall_clock_scoped(self, relpath: str, package: str) -> bool:
         """Whether DET002 applies to the module at *relpath*."""

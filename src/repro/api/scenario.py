@@ -143,6 +143,20 @@ class Scenario:
     indexed_scheduling: bool = False
     use_state_cache: bool = True
 
+    # -- two-level sharded scheduling --------------------------------------
+    #: Split the cluster into this many cells, each with its own
+    #: scheduler, pending queue and event queue, routed by the global
+    #: dispatcher.  ``None`` is the flat single-queue oracle;
+    #: ``cells=1`` runs the full sharded machinery and is bit-for-bit
+    #: identical to it.
+    cells: Optional[int] = None
+    #: Partition policy (any name in :data:`repro.registry.CELLS`):
+    #: ``balanced`` (seeded hash round-robin), ``region`` (node-name
+    #: prefixes) or ``capacity-class`` (hardware shapes).
+    cell_policy: str = "balanced"
+    #: Consecutive deferrals before a pod spills to another cell.
+    cell_spillover_after: int = 2
+
     # -- failure injection / stop -----------------------------------------
     node_failures: Sequence[Tuple[float, str]] = ()
     max_sim_seconds: float = 48 * 3600.0
@@ -280,6 +294,9 @@ class Scenario:
             preemption_priority_threshold=(
                 self.preemption_priority_threshold
             ),
+            cells=self.cells,
+            cell_policy=self.cell_policy,
+            cell_spillover_after=self.cell_spillover_after,
         )
 
     def build_trace(self) -> Trace:
@@ -334,6 +351,7 @@ class Scenario:
             preemption_count=replay.preemption_count,
             eviction_count=replay.eviction_count,
             wait_reasons=replay.wait_reasons,
+            cell_spillovers=replay.cell_spillovers,
         )
 
 
@@ -367,6 +385,9 @@ class RunResult:
     wait_reasons: Dict[str, int] = dataclasses.field(
         default_factory=dict
     )
+    #: Pods the global dispatcher re-routed across cells (0 in the
+    #: flat oracle and in every ``cells=1`` replay).
+    cell_spillovers: int = 0
 
     def pod_signature(self) -> Tuple:
         """Every pod's full lifecycle, for bit-for-bit comparison."""
@@ -398,6 +419,7 @@ class RunResult:
             self.preemption_count,
             self.eviction_count,
             tuple(sorted(self.wait_reasons.items())),
+            self.cell_spillovers,
         )
 
     def to_row(self) -> Dict[str, object]:
@@ -413,6 +435,8 @@ class RunResult:
             "epc_mib": round(scenario.epc_total_bytes / 2**20, 3),
             "event_driven": scenario.event_driven,
             "indexed": scenario.indexed_scheduling,
+            "cells": 1 if scenario.cells is None else scenario.cells,
+            "cell_policy": scenario.cell_policy,
             "submitted": len(metrics.pods),
             "completed": len(metrics.succeeded),
             "failed": len(metrics.failed),
@@ -425,6 +449,7 @@ class RunResult:
             "migrations": self.migration_count,
             "preemptions": self.preemption_count,
             "evictions": self.eviction_count,
+            "cell_spillovers": self.cell_spillovers,
             # Deferral-reason aggregates: what the queue waited *on*.
             "wait_epc": self.wait_reasons.get("epc", 0),
             "wait_memory": self.wait_reasons.get("memory", 0),

@@ -1,0 +1,320 @@
+"""Per-cell event queues with a deterministic global merge.
+
+The flat :class:`repro.simulation.engine.SimulationEngine` keeps one
+heap; a sharded replay wants per-cell queues so a cell's events (its
+pods' finish/start events, its nodes' reschedules) stay local to it —
+the shape a later process-pool backend needs.  Determinism is the
+non-negotiable part: events must fire in *exactly* the order the flat
+engine would fire them, or the ``cells=1`` oracle gate breaks.
+
+Two decisions carry that guarantee:
+
+* one **global sequence counter** shared by every queue.  A sequence
+  number is allocated per schedule call, exactly like the flat
+  engine, so the merge key ``(time, seq, cell_id)`` is globally
+  unique and reproduces the flat engine's FIFO tie-break bit for bit
+  regardless of which queue an event sits in;
+* the **merge** pops the minimum of the queue heads by that key.
+  ``cell_id`` is the documented final tie-break for the future
+  per-cell-counter mode (a process pool cannot share a counter); with
+  the shared counter it never decides, but the contract is stated now
+  so the key never has to change.
+
+Control-plane events — submissions, metrics ticks, the scheduler tick
+itself — live in the reserved :data:`GLOBAL_CELL` queue.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+Action = Callable[[], None]
+
+#: Queue id of the control plane (submissions, scheduler/metrics
+#: ticks, crash injections).  Merges *before* cell 0 on exact
+#: ``(time, seq)`` ties, which the shared counter makes unreachable.
+GLOBAL_CELL = -1
+
+
+class CellEventHandle:
+    """A scheduled event in one cell's queue, cancellable."""
+
+    __slots__ = ("time", "seq", "cell", "action", "cancelled", "_engine")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        cell: int,
+        action: Action,
+        engine: Optional["ShardedEngine"] = None,
+    ):
+        self.time = time
+        self.seq = seq
+        self.cell = cell
+        self.action: Optional[Action] = action
+        self.cancelled = False
+        self._engine = engine
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent; cancelling an
+        already-fired event is a no-op."""
+        if self.cancelled or self.action is None:
+            return
+        self.cancelled = True
+        self.action = None
+        engine = self._engine
+        if engine is not None:
+            engine._note_cancel(self.cell)
+
+    def __lt__(self, other: "CellEventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class _CellQueue:
+    """One cell's heap plus its cancelled-entry bookkeeping."""
+
+    __slots__ = ("cell", "heap", "cancelled")
+
+    def __init__(self, cell: int):
+        self.cell = cell
+        self.heap: List[Tuple[float, int, CellEventHandle]] = []
+        self.cancelled = 0
+
+    def compact(self) -> None:
+        """Drop cancelled entries and re-heapify the survivors."""
+        self.heap = [e for e in self.heap if not e[2].cancelled]
+        heapify(self.heap)
+        self.cancelled = 0
+
+
+class ShardedEngine:
+    """Event loop over per-cell queues, merged deterministically.
+
+    API-compatible with :class:`SimulationEngine` (``schedule_at``,
+    ``schedule_in``, ``reschedule_in``, ``run``, ``step``, ``now``,
+    ``pending_events``, ``fired_events``); the schedule calls take an
+    extra ``cell`` argument defaulting to :data:`GLOBAL_CELL`.
+    """
+
+    __slots__ = (
+        "_now", "_queues", "_next_seq", "_fired", "_pending",
+        "cell_count",
+    )
+
+    #: Same size-proportional compaction policy as the flat engine,
+    #: applied per queue: each cell's heap compacts independently once
+    #: its cancelled entries reach half of it.
+    COMPACT_MIN_QUEUE = 32
+
+    def __init__(self, cells: int = 1, start_time: float = 0.0):
+        if cells < 1:
+            raise SimulationError(f"cells must be >= 1: {cells}")
+        self._now = start_time
+        self.cell_count = cells
+        #: Control-plane queue first, then cells 0..cells-1; the merge
+        #: scans this fixed list, so peeking order is deterministic.
+        self._queues: List[_CellQueue] = [
+            _CellQueue(cell) for cell in range(-1, cells)
+        ]
+        self._next_seq = 0
+        self._fired = 0
+        self._pending = 0
+
+    @property
+    def now(self) -> float:
+        """The current simulated time, seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Events scheduled and not yet fired or cancelled.  O(1)."""
+        return self._pending
+
+    @property
+    def fired_events(self) -> int:
+        """Events executed so far."""
+        return self._fired
+
+    def queue_sizes(self) -> List[int]:
+        """Live (non-cancelled) entries per queue, control plane first."""
+        sizes = []
+        for queue in self._queues:
+            sizes.append(len(queue.heap) - queue.cancelled)
+        return sizes
+
+    def _queue_of(self, cell: int) -> _CellQueue:
+        if not GLOBAL_CELL <= cell < self.cell_count:
+            raise SimulationError(
+                f"unknown cell {cell}; engine has cells "
+                f"[{GLOBAL_CELL}, {self.cell_count})"
+            )
+        return self._queues[cell + 1]
+
+    def _note_cancel(self, cell: int) -> None:
+        """Bookkeeping for one handle transitioning to cancelled."""
+        self._pending -= 1
+        queue = self._queues[cell + 1]
+        queue.cancelled += 1
+        if (
+            len(queue.heap) >= self.COMPACT_MIN_QUEUE
+            and queue.cancelled * 2 >= len(queue.heap)
+        ):
+            queue.compact()
+
+    def schedule_at(
+        self, time: float, action: Action, cell: int = GLOBAL_CELL
+    ) -> CellEventHandle:
+        """Schedule *action* at absolute simulated *time* in *cell*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now={self._now}"
+            )
+        queue = self._queue_of(cell)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        handle = CellEventHandle(time, seq, cell, action, self)
+        heappush(queue.heap, (time, seq, handle))
+        self._pending += 1
+        return handle
+
+    def schedule_in(
+        self, delay: float, action: Action, cell: int = GLOBAL_CELL
+    ) -> CellEventHandle:
+        """Schedule *action* after *delay* seconds in *cell*."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        queue = self._queue_of(cell)
+        time = self._now + delay
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        handle = CellEventHandle(time, seq, cell, action, self)
+        heappush(queue.heap, (time, seq, handle))
+        self._pending += 1
+        return handle
+
+    def reschedule_in(
+        self,
+        handle: Optional[CellEventHandle],
+        delay: float,
+        action: Action,
+        cell: int = GLOBAL_CELL,
+    ) -> CellEventHandle:
+        """Cancel *handle* (when live) and schedule *action* in *cell*.
+
+        The fused hot path of the flat engine, queue-aware: the stale
+        handle's bookkeeping lands on *its* queue (which may differ
+        from *cell* after a cross-cell migration), the new event on the
+        target queue.  Timestamps and sequence numbers are exactly
+        those of the unfused cancel + schedule pair.
+        """
+        if (
+            handle is not None
+            and not handle.cancelled
+            and handle.action is not None
+        ):
+            handle.cancelled = True
+            handle.action = None
+            old_queue = self._queues[handle.cell + 1]
+            old_queue.cancelled += 1
+            if (
+                len(old_queue.heap) >= self.COMPACT_MIN_QUEUE
+                and old_queue.cancelled * 2 >= len(old_queue.heap)
+            ):
+                old_queue.compact()
+        else:
+            self._pending += 1
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        queue = self._queue_of(cell)
+        time = self._now + delay
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        new = CellEventHandle(time, seq, cell, action, self)
+        heappush(queue.heap, (time, seq, new))
+        return new
+
+    def _pop_next(self) -> Optional[Tuple[float, int, CellEventHandle]]:
+        """Pop the globally next live entry, or ``None`` when drained.
+
+        Scans the queue heads (control plane first, then cells in id
+        order), dropping cancelled entries as they surface, and pops
+        the minimum ``(time, seq, cell_id)``.  O(#queues) per event —
+        cell counts are small; a loser tree can replace this scan if
+        they ever are not.
+        """
+        best_queue: Optional[_CellQueue] = None
+        best_key: Optional[Tuple[float, int, int]] = None
+        for queue in self._queues:
+            heap = queue.heap
+            while heap:
+                entry = heap[0]
+                if entry[2].cancelled:
+                    heappop(heap)
+                    queue.cancelled -= 1
+                    continue
+                key = (entry[0], entry[1], queue.cell)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_queue = queue
+                break
+        if best_queue is None:
+            return None
+        return heappop(best_queue.heap)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 50_000_000,
+    ) -> float:
+        """Run events in merge order until drained or *until* passes.
+
+        Returns the final simulated time.  ``max_events`` guards
+        against runaway self-rescheduling loops.
+        """
+        fired_this_run = 0
+        while True:
+            entry = self._pop_next()
+            if entry is None:
+                break
+            handle = entry[2]
+            if until is not None and entry[0] > until:
+                # Re-shelve the event: the run window closed before it.
+                heappush(
+                    self._queues[handle.cell + 1].heap, entry
+                )
+                self._now = until
+                return self._now
+            self._now = entry[0]
+            action = handle.action
+            handle.action = None
+            self._pending -= 1
+            self._fired += 1
+            fired_this_run += 1
+            if fired_this_run > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; runaway loop?"
+                )
+            if action is not None:
+                action()
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def step(self) -> bool:
+        """Fire exactly one (non-cancelled) event; ``False`` if drained."""
+        entry = self._pop_next()
+        if entry is None:
+            return False
+        handle = entry[2]
+        self._now = entry[0]
+        action = handle.action
+        handle.action = None
+        self._pending -= 1
+        self._fired += 1
+        if action is not None:
+            action()
+        return True

@@ -1,0 +1,174 @@
+"""Cell partition policies: how the cluster splits into cells.
+
+A policy is a pure function from the node inventory to a total
+assignment ``node name -> cell id``.  Everything downstream — the
+per-cell schedulers, the dispatcher's feasibility classes, the sharded
+event merge — assumes the assignment is *total*: every node lands in
+exactly one cell and every id is in ``[0, cells)``.
+:func:`partition_nodes` enforces that contract on every policy call,
+built-in or plugin, so a broken plugin dies with a precise error
+instead of silently dropping nodes from scheduling.
+
+Determinism: policies must not consult Python's salted ``hash()`` or
+any ambient randomness.  The ``balanced`` policy keys its shuffle on
+``zlib.crc32`` of the node name mixed with the seed — stable across
+processes and runs, which the bit-for-bit replay gate requires.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Sequence, Tuple
+
+from ..cluster.node import Node
+from ..errors import SimulationError
+from ..registry import CELLS, register_cell_policy
+
+
+def partition_nodes(
+    nodes: Sequence[Node],
+    cells: int,
+    policy: str,
+    seed: int = 0,
+) -> Dict[str, int]:
+    """Split *nodes* into *cells* cells under the named *policy*.
+
+    Looks the policy up in :data:`repro.registry.CELLS`, calls it with
+    the standard kwargs and validates totality: the returned mapping
+    must cover every node exactly once with ids in ``[0, cells)``.
+    Returns the validated assignment (insertion order follows the node
+    inventory order, not the policy's return order).
+    """
+    if cells < 1:
+        raise SimulationError(f"cells must be >= 1: {cells}")
+    factory = CELLS.get(policy)
+    assignment = factory(nodes=nodes, cells=cells, seed=seed)
+    names = [node.name for node in nodes]
+    missing = [name for name in names if name not in assignment]
+    if missing:
+        raise SimulationError(
+            f"cell policy {policy!r} dropped node(s): "
+            f"{', '.join(missing)}"
+        )
+    extra = sorted(set(assignment) - set(names))
+    if extra:
+        raise SimulationError(
+            f"cell policy {policy!r} invented node(s): "
+            f"{', '.join(extra)}"
+        )
+    validated: Dict[str, int] = {}
+    for name in names:
+        cell = assignment[name]
+        if not isinstance(cell, int) or isinstance(cell, bool):
+            raise SimulationError(
+                f"cell policy {policy!r} assigned non-int cell "
+                f"{cell!r} to {name}"
+            )
+        if not 0 <= cell < cells:
+            raise SimulationError(
+                f"cell policy {policy!r} assigned {name} to cell "
+                f"{cell}, outside [0, {cells})"
+            )
+        validated[name] = cell
+    return validated
+
+
+def _stable_rank(name: str, seed: int) -> Tuple[int, str]:
+    """A process-stable pseudo-random sort key for a node name.
+
+    ``zlib.crc32`` rather than ``hash()``: the builtin is salted per
+    process, which would make partitions differ between a replay and
+    its pool-worker rerun.  The name itself breaks crc collisions.
+    """
+    payload = f"{seed}:{name}".encode("utf-8")
+    return (zlib.crc32(payload), name)
+
+
+@register_cell_policy("balanced")
+def balanced_cells(
+    nodes: Sequence[Node], cells: int, seed: int = 0
+) -> Dict[str, int]:
+    """Even-sized cells from a seeded hash shuffle of the node names.
+
+    Nodes are ordered by a crc32-keyed shuffle (seed-dependent, salt
+    free) and dealt round-robin, so cell sizes differ by at most one
+    and hardware of every kind spreads roughly evenly — the default
+    when no topology information is available.
+    """
+    ordered = sorted(
+        (node.name for node in nodes),
+        key=lambda name: _stable_rank(name, seed),
+    )
+    return {name: i % cells for i, name in enumerate(ordered)}
+
+
+def node_region(name: str) -> str:
+    """The region implied by a node name: its non-numeric prefix.
+
+    The inventory builders name nodes ``worker-3`` / ``sgx-worker-1``
+    / ``rack2-node-7``; everything before the trailing numeric index
+    is treated as the region label.  Names without a numeric suffix
+    are their own region.
+    """
+    prefix, _, suffix = name.rpartition("-")
+    if prefix and suffix.isdigit():
+        return prefix
+    return name
+
+
+@register_cell_policy("region")
+def region_cells(
+    nodes: Sequence[Node], cells: int, seed: int = 0
+) -> Dict[str, int]:
+    """Cells follow the name-derived regions of the inventory.
+
+    Regions (node-name prefixes, see :func:`node_region`) are sorted
+    and dealt round-robin onto cells, so co-named nodes stay together
+    while more regions than cells still fill every cell.  The seed is
+    unused — regions are a physical fact — but accepted for the
+    uniform factory contract.
+    """
+    del seed  # regions are topology, not chance
+    regions = sorted({node_region(node.name) for node in nodes})
+    region_cell = {region: i % cells for i, region in enumerate(regions)}
+    return {
+        node.name: region_cell[node_region(node.name)] for node in nodes
+    }
+
+
+@register_cell_policy("capacity-class")
+def capacity_class_cells(
+    nodes: Sequence[Node], cells: int, seed: int = 0
+) -> Dict[str, int]:
+    """Cells group nodes of identical hardware shape.
+
+    A class is ``(sgx_capable, cpu, memory, epc)`` — nodes of the same
+    class are interchangeable to the feasibility filter, so keeping a
+    class inside one cell makes the dispatcher's feasibility routing
+    exact for it.  Classes are sorted (SGX last, then by size) and
+    dealt round-robin onto cells.  The seed is unused.
+    """
+    del seed  # capacity classes are hardware facts, not chance
+    classes: List[Tuple[bool, int, int, int]] = sorted(
+        {
+            (
+                node.sgx_capable,
+                node.capacity.cpu_millicores,
+                node.capacity.memory_bytes,
+                node.capacity.epc_pages,
+            )
+            for node in nodes
+        }
+    )
+    class_cell = {cls: i % cells for i, cls in enumerate(classes)}
+    return {
+        node.name: class_cell[
+            (
+                node.sgx_capable,
+                node.capacity.cpu_millicores,
+                node.capacity.memory_bytes,
+                node.capacity.epc_pages,
+            )
+        ]
+        for node in nodes
+    }

@@ -241,6 +241,22 @@ def _scenario_flags() -> argparse.ArgumentParser:
         help="rescan the TSDB window instead of the aggregate cache",
     )
     parent.add_argument(
+        "--cells",
+        type=int,
+        default=None,
+        help="shard the cluster into N scheduling cells under a "
+        "global dispatcher (default: the flat single-scheduler "
+        "path; --cells 1 runs the sharded machinery, bit-for-bit "
+        "equal to it)",
+    )
+    parent.add_argument(
+        "--cell-policy",
+        default="balanced",
+        dest="cell_policy",
+        help="registered cell partition policy splitting nodes "
+        "across --cells (default %(default)s)",
+    )
+    parent.add_argument(
         "--cluster-workers",
         type=int,
         default=None,
@@ -489,6 +505,9 @@ def _base_scenario(args: argparse.Namespace) -> Scenario:
         preemption_policy=args.preemption_policy,
         preemption_priority_threshold=args.priority_threshold,
     )
+    if args.cells is not None:
+        kwargs["cells"] = args.cells
+        kwargs["cell_policy"] = args.cell_policy
     trace = _trace_spec(args)
     if trace is not None:
         kwargs["trace"] = trace

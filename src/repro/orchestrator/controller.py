@@ -17,7 +17,7 @@ The orchestrator itself is clock-free: every method takes ``now``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..cluster.resources import ResourceVector
 from ..cluster.topology import Cluster
@@ -95,6 +95,7 @@ class Orchestrator:
         requeue_backoff_seconds: float = 0.0,
         preemption_policy: Optional[PreemptionPolicy] = None,
         preemption_priority_threshold: int = DEFAULT_PREEMPTION_THRESHOLD,
+        queue: Optional[PendingQueue] = None,
     ):
         self.cluster = cluster
         #: The planner consulted for deferred pods at or above the
@@ -163,8 +164,14 @@ class Orchestrator:
             cache=self.aggregate_cache,
             allow_query_cache=use_state_cache,
         )
-        self.queue = PendingQueue(
-            requeue_backoff_seconds=requeue_backoff_seconds
+        # An injected queue (the sharded runner's cell router) must
+        # duck-type PendingQueue; the default is the flat FCFS queue.
+        self.queue = (
+            queue
+            if queue is not None
+            else PendingQueue(
+                requeue_backoff_seconds=requeue_backoff_seconds
+            )
         )
         self.all_pods: List[Pod] = []
         self.migrations = MigrationManager()
@@ -284,6 +291,10 @@ class Orchestrator:
         scheduler: Scheduler,
         now: float,
         only_matching: bool = False,
+        *,
+        pending: Optional[List[Pod]] = None,
+        views: Optional[Sequence[NodeView]] = None,
+        on_unschedulable: Optional[Callable[[Pod], bool]] = None,
     ) -> PassResult:
         """Run one pass of *scheduler* over the pending queue.
 
@@ -294,12 +305,22 @@ class Orchestrator:
         which scheduler it requires" (how the authors ran comparative
         benchmarks).  The default considers the whole queue, as in a
         single-scheduler production deployment.
+
+        The keyword-only hooks exist for the sharded (cells) driver:
+        *pending* and *views* replace the queue snapshot and the
+        state-service build with a cell's slice of each (the defaults
+        recompute both, byte-identically to the historical behaviour),
+        and *on_unschedulable* intercepts pods the scheduler declared
+        permanently unplaceable — returning ``True`` keeps the pod
+        queued (the dispatcher re-routed it to a cell that can host
+        it), ``False`` falls through to the normal rejection.
         """
         result = PassResult()
         # Consume the cluster events this pass serves (coalescing
         # accounting; periodic callers run regardless of events).
         self.trigger.begin_pass(now)
-        pending = self.queue.snapshot(now)
+        if pending is None:
+            pending = self.queue.snapshot(now)
         if only_matching:
             pending = [
                 pod
@@ -308,11 +329,16 @@ class Orchestrator:
             ]
         if not pending:
             return result
-        views = self.state_service.build_views(now)
+        if views is None:
+            views = self.state_service.build_views(now)
         outcome = scheduler.schedule(pending, views, now)
         result.selection = scheduler.last_selection_stats
 
         for pod in outcome.unschedulable:
+            if on_unschedulable is not None and on_unschedulable(pod):
+                # Re-routed to another cell: still pending, not failed.
+                result.deferred.append(pod)
+                continue
             self.queue.remove(pod)
             pod.mark_failed(now, "Unschedulable: fits no node's capacity")
             result.rejected.append(pod)

@@ -74,7 +74,7 @@ from ..policy.classes import (
     resolve_priority,
 )
 from ..policy.preemption import PreemptionPolicy
-from ..registry import PREEMPTION_POLICIES, SCHEDULERS, WORKLOADS
+from ..registry import CELLS, PREEMPTION_POLICIES, SCHEDULERS, WORKLOADS
 from ..scheduler.base import Scheduler
 from ..scheduler.rebalancer import EpcRebalancer
 from ..sgx.perf import SgxPerfModel
@@ -220,6 +220,18 @@ class ReplayConfig:
     preemption_policy: str = "none"
     #: Deferred pods at or above this priority consult the planner.
     preemption_priority_threshold: int = DEFAULT_PREEMPTION_THRESHOLD
+    #: Two-level sharded scheduling: split the cluster into this many
+    #: cells, each with its own scheduler instance, pending queue and
+    #: event queue, routed by the global dispatcher.  ``None`` (the
+    #: default) is the flat single-queue oracle; ``cells=1`` engages
+    #: the full sharded machinery and is bit-for-bit identical to it.
+    cells: Optional[int] = None
+    #: Partition policy (any name in ``repro.registry.CELLS``): how
+    #: nodes map onto cells.  Only consulted when ``cells`` is set.
+    cell_policy: str = "balanced"
+    #: Consecutive deferrals a cell may accumulate for one pod before
+    #: the dispatcher spills it to the next-best feasible cell.
+    cell_spillover_after: int = 2
 
     def __post_init__(self):
         # Accept plain dicts for the option fields; store sorted items
@@ -324,6 +336,32 @@ class ReplayConfig:
                 raise SimulationError(
                     f"{worker_field} must be >= 1: {value}"
                 )
+        if self.cells is not None and (
+            not isinstance(self.cells, int)
+            or isinstance(self.cells, bool)
+            or self.cells < 1
+        ):
+            raise SimulationError(f"cells must be >= 1: {self.cells!r}")
+        if (
+            not isinstance(self.cell_spillover_after, int)
+            or isinstance(self.cell_spillover_after, bool)
+            or self.cell_spillover_after < 1
+        ):
+            raise SimulationError(
+                "cell_spillover_after must be >= 1: "
+                f"{self.cell_spillover_after!r}"
+            )
+        if self.cells is not None or self.cell_policy != "balanced":
+            # Importing the cells package registers the built-in
+            # policies; lazy so the flat oracle path never pays it.
+            from .. import cells as _cell_builtins  # noqa: F401
+
+            if self.cell_policy not in CELLS:
+                known = ", ".join(CELLS.names())
+                raise SimulationError(
+                    f"unknown cell policy {self.cell_policy!r}; "
+                    f"known: {known}"
+                )
 
 
 @dataclass(slots=True)
@@ -349,6 +387,9 @@ class ReplayResult:
     #: :data:`repro.scheduler.base.WAIT_REASONS` — why pods waited
     #: (EPC vs memory vs CPU vs fragmentation), not just how long.
     wait_reasons: Dict[str, int] = field(default_factory=dict)
+    #: Pods the dispatcher re-routed across cells (0 in the flat
+    #: oracle and, by construction, in every ``cells=1`` replay).
+    cell_spillovers: int = 0
 
 
 def make_scheduler(config: ReplayConfig) -> Scheduler:
@@ -458,7 +499,7 @@ class _Replay:
         "_job_seq", "_sgx_node_names", "unsubmitted", "plans",
         "rebalancer", "queue_series", "migration_count",
         "passes_executed", "passes_skipped", "preemption_count",
-        "eviction_count", "wait_reasons",
+        "eviction_count", "wait_reasons", "spillover_count",
     )
 
     def __init__(self, trace, config: ReplayConfig):
@@ -479,18 +520,9 @@ class _Replay:
             cluster_kwargs["sgx_workers"] = config.sgx_workers
         self.cluster = paper_cluster(**cluster_kwargs)
         self.perf = SgxPerfModel()
-        self.orchestrator = Orchestrator(
-            self.cluster,
-            perf_model=self.perf,
-            use_state_cache=config.use_state_cache,
-            requeue_backoff_seconds=config.requeue_backoff_seconds,
-            preemption_policy=make_preemption_policy(config),
-            preemption_priority_threshold=(
-                config.preemption_priority_threshold
-            ),
-        )
+        self.orchestrator = self._make_orchestrator()
         self.scheduler = make_scheduler(config)
-        self.engine = SimulationEngine()
+        self.engine = self._make_engine()
         self.log = EventLog()
         self.running: Dict[str, _RunningJob] = {}  # pod uid -> job
         #: Per-node registries (node name -> pod uid -> job), each kept
@@ -536,9 +568,30 @@ class _Replay:
         self.passes_skipped = 0
         self.preemption_count = 0
         self.eviction_count = 0
+        self.spillover_count = 0
         #: Aggregate deferral reasons over every executed pass, keyed
         #: by :data:`repro.scheduler.base.WAIT_REASONS`.
         self.wait_reasons: Dict[str, int] = {}
+
+    # -- construction hooks (the sharded runner overrides these) ----------
+
+    def _make_orchestrator(self) -> Orchestrator:
+        """Build the control plane; runs after the cluster exists."""
+        config = self.config
+        return Orchestrator(
+            self.cluster,
+            perf_model=self.perf,
+            use_state_cache=config.use_state_cache,
+            requeue_backoff_seconds=config.requeue_backoff_seconds,
+            preemption_policy=make_preemption_policy(config),
+            preemption_priority_threshold=(
+                config.preemption_priority_threshold
+            ),
+        )
+
+    def _make_engine(self) -> SimulationEngine:
+        """Build the event loop; runs after the orchestrator exists."""
+        return SimulationEngine()
 
     # -- activity tracking -------------------------------------------------
 
@@ -616,7 +669,34 @@ class _Replay:
                     self.config.scheduler_period, self._scheduler_tick
                 )
             return
+        self._execute_pass(now)
+        # Admissions changed EPC occupancy; refresh running-job rates.
+        self._reschedule_all_nodes(now)
+        self._sample_queue(now)
+        if self._active():
+            self.engine.schedule_in(
+                self.config.scheduler_period, self._scheduler_tick
+            )
+
+    def _execute_pass(self, now: float) -> None:
+        """One scheduling pass over the whole queue (the flat oracle).
+
+        The sharded runner overrides this with one pass per cell; both
+        paths feed every pass outcome through
+        :meth:`_consume_pass_result`, so the bookkeeping (logging,
+        start events, counters) is shared code.
+        """
         result = self.orchestrator.scheduling_pass(self.scheduler, now)
+        self._consume_pass_result(result, now)
+
+    def _schedule_start(self, pod: Pod, startup_seconds: float) -> None:
+        """Arm a launched pod's start event (cell-routed when sharded)."""
+        self.engine.schedule_in(
+            startup_seconds, lambda p=pod: self._start(p)
+        )
+
+    def _consume_pass_result(self, result, now: float) -> None:
+        """Fold one pass outcome into the replay's log and counters."""
         self.passes_executed += 1
         self.log.record(now, EventKind.SCHEDULING_PASS)
         for pod, startup_seconds in result.launched:
@@ -624,9 +704,7 @@ class _Replay:
                 now, EventKind.BOUND, pod_name=pod.name,
                 node_name=pod.node_name,
             )
-            self.engine.schedule_in(
-                startup_seconds, lambda p=pod: self._start(p)
-            )
+            self._schedule_start(pod, startup_seconds)
         for pod in result.killed:
             self.log.record(
                 now,
@@ -672,13 +750,6 @@ class _Replay:
         for reason, count in result.wait_reasons.items():
             self.wait_reasons[reason] = (
                 self.wait_reasons.get(reason, 0) + count
-            )
-        # Admissions changed EPC occupancy; refresh running-job rates.
-        self._reschedule_all_nodes(now)
-        self._sample_queue(now)
-        if self._active():
-            self.engine.schedule_in(
-                self.config.scheduler_period, self._scheduler_tick
             )
 
     def _start(self, pod: Pod) -> None:
@@ -947,6 +1018,7 @@ class _Replay:
             preemption_count=self.preemption_count,
             eviction_count=self.eviction_count,
             wait_reasons=dict(self.wait_reasons),
+            cell_spillovers=self.spillover_count,
         )
 
 
@@ -957,7 +1029,15 @@ def run_replay(trace, config: ReplayConfig) -> ReplayResult:
     :data:`repro.registry.TRACES`, or ``None`` for workloads that
     never read it.  Identical to :func:`replay_trace` minus the
     deprecation warning — the scenario layer is the supported caller.
+
+    ``config.cells`` forks to the two-level sharded runner
+    (:class:`repro.cells.runner.CellReplay`); ``cells=1`` runs the
+    full sharded machinery and is bit-for-bit the flat oracle.
     """
+    if config.cells is not None:
+        from ..cells.runner import CellReplay
+
+        return CellReplay(trace, config).run()
     return _Replay(trace, config).run()
 
 

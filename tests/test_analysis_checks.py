@@ -527,6 +527,101 @@ class TestTrace001AdapterConformance:
         assert rules_fired(proj, ["TRACE001"]) == []
 
 
+class TestCell001PolicyConformance:
+    def test_duplicate_name_fires_with_first_location(self):
+        proj = project(
+            cells__a="""
+                from ..registry import register_cell_policy
+
+                @register_cell_policy("balanced")
+                def split_a(nodes, cells, seed):
+                    return {}
+            """,
+            cells__b="""
+                from ..registry import register_cell_policy
+
+                @register_cell_policy("balanced")
+                def split_b(nodes, cells, seed):
+                    return {}
+            """,
+        )
+        findings = analyze_project(proj, rules=["CELL001"])
+        duplicates = [f for f in findings if "duplicate" in f.message]
+        assert len(duplicates) == 1
+        assert "cells/a.py" in duplicates[0].message
+
+    def test_missing_seed_keyword_fires(self):
+        proj = project(cells__a="""
+            from ..registry import register_cell_policy
+
+            @register_cell_policy("narrow")
+            def split(nodes, cells):
+                return {}
+        """)
+        findings = analyze_project(proj, rules=["CELL001"])
+        assert any(
+            "does not accept" in f.message and "seed" in f.message
+            for f in findings
+        )
+
+    def test_kwargs_catch_all_is_clean(self):
+        proj = project(cells__a="""
+            from ..registry import register_cell_policy
+
+            @register_cell_policy("wide")
+            def split(**kwargs):
+                return {}
+        """)
+        assert rules_fired(proj, ["CELL001"]) == []
+
+    def test_exact_signature_is_clean(self):
+        proj = project(cells__a="""
+            from ..registry import register_cell_policy
+
+            @register_cell_policy("exact")
+            def split(nodes, cells, seed):
+                return {}
+        """)
+        assert rules_fired(proj, ["CELL001"]) == []
+
+    def test_non_literal_name_fires(self):
+        proj = project(cells__a="""
+            from ..registry import register_cell_policy
+
+            NAME = "dynamic"
+
+            @register_cell_policy(NAME)
+            def split(nodes, cells, seed):
+                return {}
+        """)
+        findings = analyze_project(proj, rules=["CELL001"])
+        assert any("string literal" in f.message for f in findings)
+
+    def test_class_policy_init_checked(self):
+        proj = project(cells__a="""
+            from ..registry import register_cell_policy
+
+            @register_cell_policy("classy")
+            class Splitter:
+                def __init__(self, nodes=None, cells=None):
+                    pass
+        """)
+        findings = analyze_project(proj, rules=["CELL001"])
+        assert any("seed" in f.message for f in findings)
+
+    def test_other_registries_not_confused(self):
+        # Trace adapters have a different contract; CELL001 must
+        # ignore them even when TRACE001 would fire.
+        proj = project(trace__adapters__a="""
+            from ....registry import register_trace
+
+            @register_trace("narrow")
+            def build(spec):
+                return None
+        """)
+        assert rules_fired(proj, ["CELL001"]) == []
+
+
 SCENARIO_FIXTURE = """
     from dataclasses import dataclass
 
@@ -679,8 +774,8 @@ class TestSuppressionsAndBaseline:
 class TestFramework:
     def test_all_rules_registered(self):
         assert list(check_names()) == [
-            "API001", "DET001", "DET002", "DET003", "DET004",
-            "LAYOUT001", "LAYOUT002", "REG001", "TRACE001",
+            "API001", "CELL001", "DET001", "DET002", "DET003",
+            "DET004", "LAYOUT001", "LAYOUT002", "REG001", "TRACE001",
         ]
 
     def test_unknown_rule_rejected(self):

@@ -1,0 +1,284 @@
+"""The global dispatcher and the cell queue router.
+
+Routing unit tests build a real control plane (paper cluster, live
+kubelets) around hand-made cells, so the feasibility / load / EPC
+scoring is exercised against the same state a replay would read.
+Spillover correctness runs end-to-end through :class:`Scenario`:
+multi-cell runs re-route persistently deferred pods, and pods no cell
+can ever host are rejected exactly like the flat oracle.
+"""
+
+import pytest
+
+from repro.api import Scenario
+from repro.cells.dispatch import Cell, GlobalDispatcher
+from repro.cells.queue import CellQueueRouter
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.topology import paper_cluster
+from repro.errors import OrchestrationError
+from repro.orchestrator.api import make_pod_spec
+from repro.orchestrator.controller import Orchestrator
+from repro.orchestrator.pod import Pod
+from repro.trace.borg import synthetic_scaled_trace
+from repro.units import gib, mib
+
+
+def make_pod(name, submitted_at=0.0, mem=0, epc_bytes=0, priority=0):
+    spec = make_pod_spec(
+        name,
+        duration_seconds=60.0,
+        declared_memory_bytes=mem,
+        declared_epc_bytes=epc_bytes,
+        priority=priority,
+    )
+    return Pod(spec, submitted_at=submitted_at)
+
+
+@pytest.fixture
+def plane():
+    """Two cells over the paper cluster: standard vs SGX workers."""
+    cluster = paper_cluster()
+    orchestrator = Orchestrator(cluster)
+    cells = [
+        Cell(0, ["worker-0", "worker-1"], scheduler=None),
+        Cell(1, ["sgx-worker-0", "sgx-worker-1"], scheduler=None),
+    ]
+    dispatcher = GlobalDispatcher(cells)
+    router = CellQueueRouter(2, dispatcher)
+    dispatcher.bind(
+        orchestrator.kubelets,
+        router,
+        {node.name: node for node in cluster.nodes},
+    )
+    return cluster, orchestrator, dispatcher, router
+
+
+class TestRouting:
+    def test_sgx_pod_routes_to_the_sgx_cell(self, plane):
+        _, _, dispatcher, _ = plane
+        pod = make_pod("enclave", epc_bytes=mib(10))
+        assert dispatcher.route(pod) == 1
+
+    def test_memory_heavy_pod_routes_to_the_standard_cell(self, plane):
+        # 16 GiB fits the 64 GiB standard workers, not the 8 GiB SGX
+        # boxes — feasibility filters before load even looks.
+        _, _, dispatcher, _ = plane
+        pod = make_pod("heavy", mem=int(gib(16)))
+        assert dispatcher.route(pod) == 0
+
+    def test_equal_feasibility_breaks_on_load_then_id(self, plane):
+        _, _, dispatcher, router = plane
+        small = make_pod("small", mem=int(gib(1)))
+        assert dispatcher.route(small) == 0  # tie -> lowest id
+        for i in range(3):
+            router.push(make_pod(f"filler-{i}", mem=int(gib(1))))
+        # The fillers landed spread across cells; load the lighter one
+        # explicitly and the next pod goes to the other.
+        loads = [router.cell_len(0), router.cell_len(1)]
+        expected = loads.index(min(loads))
+        assert dispatcher.route(small) == expected
+
+    def test_epc_pressure_steers_sgx_pods(self, plane):
+        cluster, orchestrator, _, _ = plane
+        cells = [
+            Cell(0, ["sgx-worker-0"], scheduler=None),
+            Cell(1, ["sgx-worker-1"], scheduler=None),
+        ]
+        dispatcher = GlobalDispatcher(cells)
+        router = CellQueueRouter(2, dispatcher)
+        dispatcher.bind(
+            orchestrator.kubelets,
+            router,
+            {node.name: node for node in cluster.nodes},
+        )
+        pod = make_pod("enclave", epc_bytes=mib(10))
+        assert dispatcher.route(pod) == 0  # tie -> lowest id
+        # Commit most of worker 0's EPC; equal queue loads now break
+        # on free pages, steering the next SGX pod to cell 1.
+        hog = make_pod("hog", epc_bytes=mib(90))
+        hog.mark_bound("sgx-worker-0", now=0.0)
+        orchestrator.kubelets["sgx-worker-0"].admit(hog)
+        assert dispatcher.route(pod) == 1
+
+    def test_infeasible_everywhere_falls_back_to_least_loaded(
+        self, plane
+    ):
+        _, _, dispatcher, router = plane
+        giant = make_pod("giant", mem=int(gib(512)))
+        assert dispatcher.route(giant) == 0
+        router.push(make_pod("filler", mem=int(gib(1))))
+        assert router.cell_len(0) == 1
+        assert dispatcher.route(giant) == 1
+
+    def test_spill_target_excludes_current_cell(self, plane):
+        _, _, dispatcher, _ = plane
+        small = make_pod("small", mem=int(gib(1)))
+        assert dispatcher.spill_target(small, 0) == 1
+        assert dispatcher.spill_target(small, 1) == 0
+        sgx = make_pod("enclave", epc_bytes=mib(10))
+        assert dispatcher.spill_target(sgx, 0) == 1
+        # No cell but the current one could host it: nowhere to spill.
+        assert dispatcher.spill_target(sgx, 1) is None
+
+    def test_spill_target_none_when_globally_infeasible(self, plane):
+        _, _, dispatcher, _ = plane
+        giant = make_pod("giant", mem=int(gib(512)))
+        assert dispatcher.spill_target(giant, 0) is None
+
+
+class TestNodeChurn:
+    def test_removal_shrinks_the_cell_and_its_classes(self, plane):
+        cluster, _, dispatcher, _ = plane
+        live = {
+            node.name: node
+            for node in cluster.nodes
+            if not node.name.startswith("sgx-")
+        }
+        dispatcher.note_node_removed("sgx-worker-0", live)
+        dispatcher.note_node_removed("sgx-worker-1", live)
+        assert "sgx-worker-0" not in dispatcher.cell_of_node
+        sgx = make_pod("enclave", epc_bytes=mib(10))
+        # No SGX shapes anywhere: routing falls back, spilling cannot.
+        assert dispatcher.spill_target(sgx, 0) is None
+
+    def test_removing_unknown_node_raises(self, plane):
+        _, _, dispatcher, _ = plane
+        with pytest.raises(OrchestrationError, match="no such node"):
+            dispatcher.note_node_removed("ghost", {})
+
+    def test_added_node_joins_the_smallest_cell(self, plane):
+        cluster, _, dispatcher, _ = plane
+        live = {node.name: node for node in cluster.nodes}
+        dispatcher.note_node_removed("worker-1", live)
+        joiner = Node(NodeSpec.standard("worker-9"))
+        live[joiner.name] = joiner
+        dispatcher.note_node_added(joiner, live)
+        assert dispatcher.cell_of_node["worker-9"] == 0
+        assert "worker-9" in dispatcher.cells[0].node_names
+
+    def test_adding_known_node_raises(self, plane):
+        cluster, _, dispatcher, _ = plane
+        with pytest.raises(OrchestrationError, match="already in cell"):
+            dispatcher.note_node_added(
+                cluster.node("worker-0"),
+                {node.name: node for node in cluster.nodes},
+            )
+
+
+class TestRouterFacade:
+    def test_double_push_raises(self, plane):
+        _, _, _, router = plane
+        pod = make_pod("p", mem=int(gib(1)))
+        router.push(pod)
+        with pytest.raises(OrchestrationError, match="already queued"):
+            router.push(pod)
+
+    def test_remove_unqueued_raises(self, plane):
+        _, _, _, router = plane
+        with pytest.raises(OrchestrationError, match="not queued"):
+            router.remove(make_pod("p"))
+
+    def test_move_rehomes_and_preserves_order(self, plane):
+        _, _, _, router = plane
+        pods = [
+            make_pod(f"p{i}", submitted_at=float(i), mem=int(gib(1)))
+            for i in range(4)
+        ]
+        for pod in pods:
+            router.push(pod)
+        mover = pods[1]
+        source = router.cell_of(mover)
+        target = 1 - source
+        router.move(mover, target)
+        assert router.cell_of(mover) == target
+        # The global snapshot still reads in submission order.
+        assert [p.name for p in router.snapshot()] == [
+            p.name for p in pods
+        ]
+
+    def test_move_to_unknown_cell_raises(self, plane):
+        _, _, _, router = plane
+        pod = make_pod("p", mem=int(gib(1)))
+        router.push(pod)
+        with pytest.raises(OrchestrationError, match="unknown cell"):
+            router.move(pod, 7)
+
+    def test_move_to_same_cell_is_a_noop(self, plane):
+        _, _, _, router = plane
+        pod = make_pod("p", mem=int(gib(1)))
+        router.push(pod)
+        router.move(pod, router.cell_of(pod))
+        assert pod in router
+
+    def test_aggregates_span_cells(self, plane):
+        _, _, _, router = plane
+        router.push(make_pod("m", mem=int(gib(2))))
+        router.push(make_pod("e", epc_bytes=mib(8)))
+        assert len(router) == 2
+        assert router.total_requested_memory_bytes() == int(gib(2))
+        assert router.total_requested_epc_pages() > 0
+        assert router.peek().name == "m"
+        assert {router.cell_of(p) for p in router} == {0, 1}
+
+    def test_requeue_reroutes_through_the_dispatcher(self, plane):
+        _, _, _, router = plane
+        pod = make_pod("p", mem=int(gib(1)))
+        router.push(pod)
+        cell = router.cell_of(pod)
+        router.remove(pod)
+        ready_at = router.requeue(pod, now=10.0)
+        assert ready_at >= 10.0
+        # Its old cell now scores equal or better (it is empty), so
+        # the deterministic re-route lands it right back.
+        assert router.cell_of(pod) == cell
+
+
+class TestSpilloverEndToEnd:
+    def test_saturated_cells_spill_and_finish(self):
+        scenario = Scenario(
+            trace=synthetic_scaled_trace(
+                seed=3,
+                n_jobs=80,
+                overallocators=8,
+                window_seconds=120.0,
+            ),
+            sgx_fraction=0.5,
+            seed=1,
+            cells=4,
+            standard_workers=4,
+            sgx_workers=4,
+        )
+        result = scenario.run()
+        assert result.cell_spillovers > 0
+        assert not result.metrics.failed
+        row = result.to_row()
+        assert row["cells"] == 4
+        assert row["cell_policy"] == "balanced"
+        assert row["cell_spillovers"] == result.cell_spillovers
+
+    def test_globally_infeasible_pods_reject_like_the_oracle(self):
+        # All-SGX workload against a 1 MiB PRM: enclaves requesting
+        # more EPC than any node's capacity are globally infeasible;
+        # the sharded replay must reject exactly the pods the flat
+        # oracle rejects.
+        trace = synthetic_scaled_trace(
+            seed=5, n_jobs=20, overallocators=2
+        )
+        flat = Scenario(
+            trace=trace,
+            sgx_fraction=1.0,
+            seed=2,
+            epc_total_bytes=int(mib(1)),
+        )
+        sharded = flat.with_(cells=2)
+        oracle = flat.run()
+        result = sharded.run()
+        assert oracle.metrics.failed  # the scenario does reject
+        assert [p.name for p in result.metrics.failed] == [
+            p.name for p in oracle.metrics.failed
+        ]
+        assert result.cell_spillovers == 0
+
+    def test_spillover_threshold_validated(self):
+        with pytest.raises(Exception, match="cell_spillover_after"):
+            Scenario(cells=2, cell_spillover_after=0)

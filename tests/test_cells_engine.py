@@ -1,0 +1,206 @@
+"""ShardedEngine vs the flat engine: the deterministic merge.
+
+The sharded engine must fire events in *exactly* the order the flat
+:class:`SimulationEngine` fires them — the ``cells=1`` oracle gate of
+the replay rides on it, but the property holds for any cell count
+because the sequence counter is shared.  The suite mirrors random
+operation scripts onto both engines (events dealt round-robin across
+cells on the sharded side) and asserts identical firing orders, then
+covers the engine-local semantics: cancellation, the fused
+``reschedule_in``, the ``run(until)`` boundary, and per-queue
+compaction.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cells.engine import GLOBAL_CELL, ShardedEngine
+from repro.errors import SimulationError
+from repro.simulation.engine import SimulationEngine
+
+
+def record(log, tag):
+    return lambda: log.append(tag)
+
+
+class TestMergeEquivalence:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=100.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=40,
+        ),
+        cells=st.integers(min_value=1, max_value=5),
+        cancel_every=st.integers(min_value=2, max_value=7),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_firing_order_matches_flat_engine(
+        self, delays, cells, cancel_every
+    ):
+        flat = SimulationEngine()
+        sharded = ShardedEngine(cells=cells)
+        flat_log, sharded_log = [], []
+        flat_handles, sharded_handles = [], []
+        for i, delay in enumerate(delays):
+            flat_handles.append(
+                flat.schedule_in(delay, record(flat_log, i))
+            )
+            sharded_handles.append(
+                sharded.schedule_in(
+                    delay, record(sharded_log, i), i % cells
+                )
+            )
+        for i in range(0, len(delays), cancel_every):
+            flat_handles[i].cancel()
+            sharded_handles[i].cancel()
+        flat.run()
+        sharded.run()
+        assert sharded_log == flat_log
+        assert sharded.now == flat.now
+        assert sharded.fired_events == flat.fired_events
+        assert sharded.pending_events == flat.pending_events == 0
+
+    @given(
+        until=st.floats(min_value=0.0, max_value=50.0,
+                        allow_nan=False, allow_infinity=False),
+        cells=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_run_until_boundary_matches_flat_engine(self, until, cells):
+        flat = SimulationEngine()
+        sharded = ShardedEngine(cells=cells)
+        flat_log, sharded_log = [], []
+        for i, delay in enumerate([10.0, 20.0, 30.0, 40.0, 50.0]):
+            flat.schedule_in(delay, record(flat_log, i))
+            sharded.schedule_in(delay, record(sharded_log, i), i % cells)
+        assert sharded.run(until=until) == flat.run(until=until)
+        assert sharded_log == flat_log
+        assert sharded.pending_events == flat.pending_events
+        # The leftover events still fire, in the same order, on the
+        # next unbounded run.
+        flat.run()
+        sharded.run()
+        assert sharded_log == flat_log
+
+    def test_same_time_ties_break_in_schedule_order(self):
+        # Three cells, one shared timestamp: the shared sequence
+        # counter keeps global FIFO across the queues.
+        engine = ShardedEngine(cells=3)
+        log = []
+        for i in range(9):
+            engine.schedule_at(5.0, record(log, i), i % 3)
+        engine.run()
+        assert log == list(range(9))
+
+    def test_reschedule_in_is_cancel_plus_schedule(self):
+        flat = SimulationEngine()
+        sharded = ShardedEngine(cells=2)
+        flat_log, sharded_log = [], []
+        fh = flat.schedule_in(10.0, record(flat_log, "old"))
+        sh = sharded.schedule_in(10.0, record(sharded_log, "old"), 0)
+        flat.schedule_in(5.0, record(flat_log, "mid"))
+        sharded.schedule_in(5.0, record(sharded_log, "mid"), 1)
+        # Fused move, crossing cells on the sharded side.
+        flat.reschedule_in(fh, 2.0, record(flat_log, "new"))
+        sharded.reschedule_in(sh, 2.0, record(sharded_log, "new"), 1)
+        flat.run()
+        sharded.run()
+        assert sharded_log == flat_log == ["new", "mid"]
+        assert sharded.pending_events == 0
+
+    def test_reschedule_none_handle_schedules_fresh(self):
+        engine = ShardedEngine(cells=2)
+        log = []
+        engine.reschedule_in(None, 1.0, record(log, "a"), 1)
+        assert engine.pending_events == 1
+        engine.run()
+        assert log == ["a"]
+
+
+class TestEngineSemantics:
+    def test_cell_count_below_one_rejected(self):
+        with pytest.raises(SimulationError, match="cells must be >= 1"):
+            ShardedEngine(cells=0)
+
+    def test_unknown_cell_rejected(self):
+        engine = ShardedEngine(cells=2)
+        with pytest.raises(SimulationError, match="unknown cell"):
+            engine.schedule_in(1.0, lambda: None, 2)
+        with pytest.raises(SimulationError, match="unknown cell"):
+            engine.schedule_at(1.0, lambda: None, -2)
+
+    def test_default_cell_is_the_control_plane(self):
+        engine = ShardedEngine(cells=3)
+        engine.schedule_in(1.0, lambda: None)
+        # queue_sizes lists the control plane first.
+        assert engine.queue_sizes() == [1, 0, 0, 0]
+        assert engine._queues[0].cell == GLOBAL_CELL
+
+    def test_past_schedule_rejected(self):
+        engine = ShardedEngine(cells=1)
+        engine.schedule_in(5.0, lambda: None, 0)
+        engine.run()
+        with pytest.raises(SimulationError, match="in the past"):
+            engine.schedule_at(1.0, lambda: None, 0)
+
+    def test_negative_delay_rejected(self):
+        engine = ShardedEngine(cells=1)
+        with pytest.raises(SimulationError, match="negative delay"):
+            engine.schedule_in(-1.0, lambda: None, 0)
+        with pytest.raises(SimulationError, match="negative delay"):
+            engine.reschedule_in(None, -1.0, lambda: None, 0)
+
+    def test_step_fires_exactly_one_event(self):
+        engine = ShardedEngine(cells=2)
+        log = []
+        engine.schedule_in(2.0, record(log, "b"), 1)
+        engine.schedule_in(1.0, record(log, "a"), 0)
+        assert engine.step() is True
+        assert log == ["a"]
+        assert engine.now == 1.0
+        assert engine.step() is True
+        assert engine.step() is False
+        assert log == ["a", "b"]
+
+    def test_cancel_is_idempotent_and_counted_once(self):
+        engine = ShardedEngine(cells=1)
+        handle = engine.schedule_in(1.0, lambda: None, 0)
+        handle.cancel()
+        handle.cancel()
+        assert engine.pending_events == 0
+        engine.run()
+        assert engine.fired_events == 0
+
+    def test_per_queue_compaction_drops_cancelled_entries(self):
+        engine = ShardedEngine(cells=2)
+        keep = [engine.schedule_in(float(i), lambda: None, 0)
+                for i in range(40)]
+        noise = [engine.schedule_in(100.0 + i, lambda: None, 1)
+                 for i in range(40)]
+        for handle in noise:
+            handle.cancel()
+        # Cell 1's heap compacted independently (once its cancelled
+        # half dominated); cell 0 untouched at its full 40.
+        assert engine.queue_sizes() == [0, 40, 0]
+        assert len(engine._queues[2].heap) < 40
+        assert len(engine._queues[1].heap) == 40
+        assert engine.pending_events == 40
+        del keep
+
+    def test_max_events_guard_trips(self):
+        engine = ShardedEngine(cells=1)
+
+        def reschedule():
+            engine.schedule_in(1.0, reschedule, 0)
+
+        engine.schedule_in(1.0, reschedule, 0)
+        with pytest.raises(SimulationError, match="runaway"):
+            engine.run(max_events=100)
+
+    def test_run_until_advances_clock_past_last_event(self):
+        engine = ShardedEngine(cells=1)
+        engine.schedule_in(3.0, lambda: None, 0)
+        assert engine.run(until=10.0) == 10.0
+        assert engine.now == 10.0

@@ -1,0 +1,174 @@
+"""Cell partition policies: totality, determinism, shape invariants.
+
+The central property, hypothesis-checked across seeds, cluster shapes
+and hardware mixes: **every registered policy assigns every node to
+exactly one cell**, with ids in range — no drops, no duplicates, no
+inventions.  :func:`partition_nodes` also enforces that contract on
+plugins at call time, so the validation-error paths are covered here
+too.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.cells  # noqa: F401  (registers the built-in policies)
+from repro.cells.policies import node_region, partition_nodes
+from repro.cluster.node import Node, NodeSpec
+from repro.errors import RegistryError, SimulationError
+from repro.registry import cell_policy_names, register_cell_policy
+from repro.units import gib
+
+
+def mixed_nodes(standard, sgx, big_prm=0):
+    """A cluster inventory mixing hardware shapes."""
+    nodes = [
+        Node(NodeSpec.standard(f"worker-{i}")) for i in range(standard)
+    ]
+    nodes += [
+        Node(NodeSpec.sgx(f"sgx-worker-{i}")) for i in range(sgx)
+    ]
+    nodes += [
+        Node(NodeSpec.sgx(f"bigprm-{i}", epc_total_bytes=int(gib(1))))
+        for i in range(big_prm)
+    ]
+    return nodes
+
+
+class TestPartitionTotality:
+    @given(
+        standard=st.integers(min_value=0, max_value=12),
+        sgx=st.integers(min_value=0, max_value=12),
+        big_prm=st.integers(min_value=0, max_value=4),
+        cells=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+        policy=st.sampled_from(sorted(cell_policy_names())),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_node_in_exactly_one_cell(
+        self, standard, sgx, big_prm, cells, seed, policy
+    ):
+        nodes = mixed_nodes(standard, sgx, big_prm)
+        if not nodes:
+            nodes = [Node(NodeSpec.standard("worker-0"))]
+        assignment = partition_nodes(nodes, cells, policy, seed=seed)
+        # Total: exactly the inventory, each name once, ids in range.
+        assert sorted(assignment) == sorted(n.name for n in nodes)
+        assert all(0 <= c < cells for c in assignment.values())
+        # Deterministic: the same inputs partition identically.
+        again = partition_nodes(nodes, cells, policy, seed=seed)
+        assert again == assignment
+
+    @given(
+        standard=st.integers(min_value=1, max_value=16),
+        sgx=st.integers(min_value=0, max_value=16),
+        cells=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_balanced_sizes_differ_by_at_most_one(
+        self, standard, sgx, cells, seed
+    ):
+        nodes = mixed_nodes(standard, sgx)
+        assignment = partition_nodes(nodes, cells, "balanced", seed=seed)
+        sizes = [
+            sum(1 for c in assignment.values() if c == cell)
+            for cell in range(cells)
+        ]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_region_keeps_co_named_nodes_together(self):
+        nodes = mixed_nodes(4, 4)
+        assignment = partition_nodes(nodes, 2, "region")
+        by_region = {}
+        for node in nodes:
+            region = node_region(node.name)
+            by_region.setdefault(region, set()).add(
+                assignment[node.name]
+            )
+        assert all(len(cells) == 1 for cells in by_region.values())
+
+    def test_capacity_class_keeps_identical_shapes_together(self):
+        nodes = mixed_nodes(3, 3, big_prm=2)
+        assignment = partition_nodes(nodes, 3, "capacity-class")
+        by_shape = {}
+        for node in nodes:
+            shape = (node.sgx_capable, node.capacity)
+            by_shape.setdefault(shape, set()).add(assignment[node.name])
+        assert all(len(cells) == 1 for cells in by_shape.values())
+
+    def test_balanced_shuffle_depends_on_seed(self):
+        nodes = mixed_nodes(8, 8)
+        partitions = {
+            tuple(
+                sorted(partition_nodes(nodes, 4, "balanced", seed=s)
+                       .items())
+            )
+            for s in range(8)
+        }
+        assert len(partitions) > 1
+
+
+class TestNodeRegion:
+    def test_trailing_index_stripped(self):
+        assert node_region("worker-3") == "worker"
+        assert node_region("sgx-worker-11") == "sgx-worker"
+        assert node_region("rack2-node-7") == "rack2-node"
+
+    def test_no_numeric_suffix_is_own_region(self):
+        assert node_region("gateway") == "gateway"
+        assert node_region("edge-a") == "edge-a"
+
+
+@register_cell_policy("test-dropper")
+def _dropper(nodes, cells, seed=0):
+    return {node.name: 0 for node in list(nodes)[1:]}
+
+
+@register_cell_policy("test-inventor")
+def _inventor(nodes, cells, seed=0):
+    out = {node.name: 0 for node in nodes}
+    out["ghost-99"] = 0
+    return out
+
+
+@register_cell_policy("test-out-of-range")
+def _out_of_range(nodes, cells, seed=0):
+    return {node.name: cells for node in nodes}
+
+
+@register_cell_policy("test-non-int")
+def _non_int(nodes, cells, seed=0):
+    return {node.name: True for node in nodes}
+
+
+class TestPartitionValidation:
+    def test_cells_below_one_rejected(self):
+        with pytest.raises(SimulationError, match="cells must be >= 1"):
+            partition_nodes(mixed_nodes(2, 0), 0, "balanced")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(RegistryError):
+            partition_nodes(mixed_nodes(2, 0), 2, "no-such-policy")
+
+    def test_dropped_node_rejected(self):
+        with pytest.raises(SimulationError, match="dropped node"):
+            partition_nodes(mixed_nodes(3, 0), 1, "test-dropper")
+
+    def test_invented_node_rejected(self):
+        with pytest.raises(SimulationError, match="invented node"):
+            partition_nodes(mixed_nodes(2, 0), 1, "test-inventor")
+
+    def test_out_of_range_cell_rejected(self):
+        with pytest.raises(SimulationError, match="outside"):
+            partition_nodes(mixed_nodes(2, 0), 2, "test-out-of-range")
+
+    def test_bool_cell_id_rejected(self):
+        # bool is an int subclass; the contract wants a real int.
+        with pytest.raises(SimulationError, match="non-int"):
+            partition_nodes(mixed_nodes(2, 0), 2, "test-non-int")
+
+    def test_validated_assignment_follows_inventory_order(self):
+        nodes = mixed_nodes(3, 3)
+        assignment = partition_nodes(nodes, 2, "balanced", seed=5)
+        assert list(assignment) == [node.name for node in nodes]
