@@ -23,7 +23,10 @@ metric against the matching row of the committed ``BENCH_*.json``:
   pre-refactor baselines), with the ``engines_identical``
   cross-engine identity flag.  Unlike the advisory sweeps this gate
   runs as a *required* CI job: the hot-path rebuild's headline must
-  not silently erode.
+  not silently erode;
+* ``obs``          — ``events`` (the decision ledger's deterministic
+  record count at the gated trace size), with the ``identical`` flag
+  proving a recorded run stays bit-for-bit the unobserved run.
 
 Baselines come in two shapes, both accepted: the legacy
 ``{"benchmark": ..., "results": [...]}`` reports and the scenario
@@ -106,6 +109,12 @@ GATES = {
         ("pods",),
         "engines_identical",
     ),
+    "obs": (
+        "BENCH_obs.json",
+        "events",
+        ("pods",),
+        "identical",
+    ),
 }
 
 
@@ -172,6 +181,14 @@ def fresh_reports(names, quick: bool) -> dict:
             # to an allocation-heavy layout shows up at any scale.
             reports[name] = run_bench.run_wall(
                 sizes=(250,) if quick else (250, 1000, 2000)
+            )
+        elif name == "obs":
+            # Quick mode keeps the 1000-pod point with one repeat:
+            # the gated metric (ledger event count) is deterministic
+            # per size, and the identical flag holds at any scale.
+            reports[name] = run_bench.run_obs(
+                sizes=(1000,) if quick else (1000, 2000),
+                repeats=1 if quick else 3,
             )
         elif name == "api_sweep":
             # Quick mode halves the grid and pool but keeps the trace

@@ -1,9 +1,10 @@
 """Benchmark runner: emits ``BENCH_state_cache.json``,
 ``BENCH_event_sched.json``, ``BENCH_sched_scale.json``,
 ``BENCH_api_sweep.json``, ``BENCH_preemption.json``,
-``BENCH_traces.json``, ``BENCH_cells.json`` and ``BENCH_wall.json``.
+``BENCH_traces.json``, ``BENCH_cells.json``, ``BENCH_wall.json`` and
+``BENCH_obs.json``.
 
-Eight sweeps over the scheduling hot path:
+Nine sweeps over the scheduling hot path:
 
 * **state_cache** — the scheduler's per-pass snapshot latency (the two
   Listing-1 sliding-window queries behind
@@ -51,7 +52,14 @@ Eight sweeps over the scheduling hot path:
   baselines (:data:`WALL_BASELINES`, measured at the seed commit of
   the hot-path rebuild), with an ``engines_identical`` flag comparing
   pod lifecycles, makespan and the queue series across the periodic,
-  event-driven and indexed runs.
+  event-driven and indexed runs;
+* **obs** — the observability contract: the periodic wall sweep's
+  1000/2000-pod points replayed with the decision ledger off and on
+  (``Scenario(observe=ObserveConfig(ledger_path=...))``), reporting
+  the wall overhead of a recorded run (must stay marginal — the
+  disabled path is allocation-free, the enabled path streams compact
+  JSONL), the deterministic ledger event count, and an ``identical``
+  flag proving observation never changes the run.
 
 Run from the repo root::
 
@@ -791,6 +799,76 @@ def run_wall(sizes=(250, 1000, 2000), repeats=1) -> dict:
     }
 
 
+def run_obs(sizes=(1000, 2000), repeats=9) -> dict:
+    """Ledger-on vs ledger-off wall overhead of the periodic engine.
+
+    The observability contract has two halves: turning the decision
+    ledger on must not change the run (``identical`` — whole-replay
+    signatures agree bit for bit) and must not slow it down
+    meaningfully.  ``overhead_pct`` compares the best observed wall
+    against the best unobserved wall over ``repeats`` interleaved
+    pairs (alternating order within each pair): ambient machine noise
+    — CPU frequency states, noisy CI neighbours — only ever slows a
+    run down, so each arm's minimum converges to its uncontended
+    floor, and the floor ratio is the real cost of recording.  Means
+    or medians of so few seconds of wall time are dominated by which
+    samples a load spike happened to hit.  ``events`` is the ledger's
+    record count, which is deterministic per trace size and therefore
+    the gateable metric.
+    """
+    from repro.api import ObserveConfig
+
+    results = []
+    for n_pods in sizes:
+        trace = synthetic_scaled_trace(
+            seed=7, n_jobs=n_pods, overallocators=n_pods // 10
+        )
+        plain = wall_config(n_pods).with_(trace=trace)
+        off_best = on_best = None
+        with tempfile.TemporaryDirectory() as tmp:
+            for repeat in range(repeats):
+                ledger_path = os.path.join(tmp, f"r{repeat}.jsonl")
+                observed = plain.with_(
+                    observe=ObserveConfig(ledger_path=ledger_path)
+                )
+                arms = [("off", plain), ("on", observed)]
+                if repeat % 2:
+                    arms.reverse()
+                timings = {}
+                for arm, scenario in arms:
+                    start = time.perf_counter()
+                    result = scenario.run()
+                    timings[arm] = time.perf_counter() - start
+                    if arm == "off":
+                        off = result
+                    else:
+                        on = result
+                if off_best is None or timings["off"] < off_best:
+                    off_best = timings["off"]
+                if on_best is None or timings["on"] < on_best:
+                    on_best = timings["on"]
+            with open(on.ledger_path, encoding="utf-8") as handle:
+                events = sum(1 for _ in handle) - 1  # header line
+        results.append(
+            {
+                "pods": n_pods,
+                "off_wall_s": round(off_best, 3),
+                "on_wall_s": round(on_best, 3),
+                "overhead_pct": round(
+                    100.0 * (on_best - off_best) / off_best, 1
+                ),
+                "identical": on.signature() == off.signature(),
+                "events": events,
+            }
+        )
+    return {
+        "benchmark": "obs",
+        "sgx_fraction": SGX_FRACTION,
+        "scheduler_period_seconds": EVENT_SCHED_PERIOD_SECONDS,
+        "results": results,
+    }
+
+
 #: The cells sweep: whole-replay wall clock of the two-level sharded
 #: scheduler (``Scenario(cells=...)``) versus the flat single-scheduler
 #: path, on clusters that grow with the workload (one worker pair per
@@ -1032,6 +1110,20 @@ def main() -> None:
             f"identical={row['engines_identical']})"
         )
     print(f"wrote {wall_path}")
+
+    obs_report = run_obs()
+    obs_path = Path(__file__).resolve().parent.parent / (
+        "BENCH_obs.json"
+    )
+    obs_path.write_text(json.dumps(obs_report, indent=2) + "\n")
+    for row in obs_report["results"]:
+        print(
+            f"{row['pods']:>6} pods: ledger off {row['off_wall_s']:.2f} s  "
+            f"on {row['on_wall_s']:.2f} s  "
+            f"(overhead {row['overhead_pct']:+.1f}%, "
+            f"{row['events']} events, identical={row['identical']})"
+        )
+    print(f"wrote {obs_path}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,27 @@
+"""Smoke test: the observability bench harness runs end-to-end.
+
+The full sweep (1000/2000 pods, the ``BENCH_obs.json`` baselines) is
+``run_bench.py``'s job; tier-1 only proves the harness works on one
+tiny configuration and that its headline invariants — a recorded run
+is bit-for-bit the unobserved run and the ledger event count is
+deterministic — hold there too.
+"""
+
+from run_bench import run_obs
+
+
+class TestObsBench:
+    def test_tiny_sweep_runs(self):
+        report = run_obs(sizes=(40,), repeats=1)
+        assert report["benchmark"] == "obs"
+        (row,) = report["results"]
+        assert row["pods"] == 40
+        assert row["identical"] is True
+        assert row["off_wall_s"] > 0
+        assert row["on_wall_s"] > 0
+        assert row["events"] > 0
+
+    def test_event_count_is_deterministic(self):
+        first = run_obs(sizes=(40,), repeats=1)["results"][0]
+        second = run_obs(sizes=(40,), repeats=1)["results"][0]
+        assert first["events"] == second["events"]

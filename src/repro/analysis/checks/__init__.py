@@ -13,6 +13,7 @@ Rule                  Hazard
 ``TRACE001``          trace-adapter signature / duplicate names
 ``CELL001``           cell-policy signature / duplicate names
 ``API001``            CLI flag with no matching ``Scenario`` field
+``OBS001``            ledger emit site off the frozen schema table
 ====================  =================================================
 
 (The runner itself emits ``NOQA001`` for suppressions that no longer
@@ -25,5 +26,6 @@ from . import api_drift  # noqa: F401
 from . import cell_conformance  # noqa: F401
 from . import determinism  # noqa: F401
 from . import layout  # noqa: F401
+from . import obs_conformance  # noqa: F401
 from . import registry_conformance  # noqa: F401
 from . import trace_conformance  # noqa: F401

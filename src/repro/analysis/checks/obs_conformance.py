@@ -1,0 +1,203 @@
+"""Ledger rule OBS001: emit sites conform to the frozen schema table.
+
+The decision ledger's value rests on two invariants the runtime only
+enforces on *observed* runs (the null ledger validates nothing):
+
+* **declared kinds and fields** — every ``<ledger>.emit(now, kind,
+  field=...)`` call anywhere in the tree uses a string-literal kind
+  declared in :data:`repro.obs.ledger.LEDGER_EVENT_KINDS` (the
+  ``repro.ledger/v1`` schema table) and passes exactly declared
+  payload fields, so ``repro diff`` compares records whose shape is
+  known in advance and consumers can parse any ledger against one
+  table;
+* **primitive payloads** — emit sites pass scalars (``pod.name``,
+  ``len(victims)``, ``plan.cost``), never a live ``Pod``/``NodeView``/
+  plan object whose mutable state would be serialised mid-flight (or
+  fail to serialise at all).  A bare name like ``pod=pod`` at an emit
+  site is almost always this mistake; attribute reads off the same
+  objects are the supported idiom.
+
+Both bugs bite only when somebody records a run — typically while
+debugging a divergence, the worst moment to discover the ledger is
+malformed — so they are linted here instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..base import ProjectCheck, register_check
+from ..config import CheckConfig
+from ..findings import Finding
+from ..source import ModuleSource, Project
+
+
+def _receiver_is_ledger(func: ast.Attribute) -> bool:
+    """Whether ``<receiver>.emit`` reads like a ledger emit call."""
+    receiver = func.value
+    if isinstance(receiver, ast.Name):
+        return "ledger" in receiver.id.lower()
+    if isinstance(receiver, ast.Attribute):
+        return "ledger" in receiver.attr.lower()
+    return False
+
+
+def _schema_table(
+    module: ModuleSource, table_name: str
+) -> Optional[Dict[str, Tuple[str, ...]]]:
+    """Parse the ``kind -> declared fields`` dict literal, if sound."""
+    for node in module.tree.body:
+        if isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+            value = node.value
+        elif isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        else:
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == table_name
+            for target in targets
+        ):
+            continue
+        if not isinstance(value, ast.Dict):
+            return None
+        table: Dict[str, Tuple[str, ...]] = {}
+        for key, fields in zip(value.keys, value.values):
+            if not (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+            ):
+                return None
+            if not isinstance(fields, (ast.Tuple, ast.List)):
+                return None
+            names = []
+            for element in fields.elts:
+                if not (
+                    isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                ):
+                    return None
+                names.append(element.value)
+            table[key.value] = tuple(names)
+        return table
+    return None
+
+
+@register_check("OBS001")
+class LedgerConformanceCheck(ProjectCheck):
+    """Ledger emit sites: declared kinds/fields, primitive payloads."""
+
+    rule = "OBS001"
+    description = (
+        "ledger schema drift: an emit site using an undeclared event "
+        "kind or payload field, a non-literal kind, a **splat "
+        "payload, or a live engine object as a payload value"
+    )
+    hint = (
+        "declare every event kind and its fields in the "
+        "repro.ledger/v1 table (LEDGER_EVENT_KINDS) and emit only "
+        "primitives: ledger.emit(now, \"kind\", field=pod.name, ...)"
+    )
+
+    def run(
+        self, project: Project, config: CheckConfig
+    ) -> Iterator[Finding]:
+        table: Optional[Dict[str, Tuple[str, ...]]] = None
+        for module in project:
+            if module.relpath == config.ledger_module:
+                table = _schema_table(module, config.ledger_schema_table)
+                if table is None:
+                    yield self.finding(
+                        module,
+                        1,
+                        f"schema table {config.ledger_schema_table} is "
+                        "not a dict literal of string kinds to tuples "
+                        "of string field names; emit sites cannot be "
+                        "checked against it",
+                        hint=(
+                            "keep LEDGER_EVENT_KINDS a pure literal — "
+                            "the static checker (and every ledger "
+                            "consumer) reads it without importing"
+                        ),
+                    )
+                break
+        for module in project:
+            for node in ast.walk(module.tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "emit"
+                    and _receiver_is_ledger(node.func)
+                ):
+                    continue
+                yield from self._check_emit(module, node, table, config)
+
+    def _check_emit(
+        self,
+        module: ModuleSource,
+        call: ast.Call,
+        table: Optional[Dict[str, Tuple[str, ...]]],
+        config: CheckConfig,
+    ) -> Iterator[Finding]:
+        declared: Optional[Tuple[str, ...]] = None
+        if len(call.args) < 2:
+            yield self.finding(
+                module,
+                call.lineno,
+                "ledger emit without a positional (now, kind) prefix; "
+                "the kind cannot be checked against the schema table",
+            )
+        else:
+            kind_node = call.args[1]
+            if not (
+                isinstance(kind_node, ast.Constant)
+                and isinstance(kind_node.value, str)
+            ):
+                yield self.finding(
+                    module,
+                    call.lineno,
+                    "ledger event kind is not a string literal; "
+                    "schema conformance cannot see it",
+                )
+            elif table is not None:
+                kind = kind_node.value
+                if kind not in table:
+                    yield self.finding(
+                        module,
+                        call.lineno,
+                        f"ledger event kind {kind!r} is not declared "
+                        f"in {config.ledger_schema_table}",
+                    )
+                else:
+                    declared = table[kind]
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                yield self.finding(
+                    module,
+                    call.lineno,
+                    "ledger emit payload uses **splat; fields must be "
+                    "spelled out so the schema table stays checkable",
+                )
+                continue
+            if declared is not None and keyword.arg not in declared:
+                yield self.finding(
+                    module,
+                    call.lineno,
+                    f"payload field {keyword.arg!r} is not declared "
+                    "for this event kind in "
+                    f"{config.ledger_schema_table}",
+                )
+            value = keyword.value
+            if (
+                isinstance(value, ast.Name)
+                and value.id in config.ledger_live_object_names
+            ):
+                yield self.finding(
+                    module,
+                    call.lineno,
+                    f"payload value {value.id!r} is a live engine "
+                    "object; records must carry primitives "
+                    f"(e.g. {value.id}.name)",
+                )

@@ -61,6 +61,10 @@ class CheckConfig:
         "cells/queue.py",
         "cells/dispatch.py",
         "cells/runner.py",
+        "obs/ledger.py",
+        "obs/spans.py",
+        "obs/metrics.py",
+        "obs/observer.py",
     )
     #: LAYOUT: base classes known to be slot-free-safe (empty slots).
     slotted_external_bases: FrozenSet[str] = _frozen(
@@ -121,6 +125,22 @@ class CheckConfig:
     #: with (``factory(nodes=..., cells=..., seed=...)``).
     cell_decorator: str = "register_cell_policy"
     cell_factory_keywords: Tuple[str, ...] = ("nodes", "cells", "seed")
+
+    #: OBS001: the module holding the frozen ``repro.ledger/v1`` schema
+    #: table and the table's name.  Every ``<ledger>.emit(now, kind,
+    #: **payload)`` call anywhere in the tree must use a string-literal
+    #: kind declared there with only declared payload fields.
+    ledger_module: str = "obs/ledger.py"
+    ledger_schema_table: str = "LEDGER_EVENT_KINDS"
+    #: OBS001: bare names that denote live engine objects at emit
+    #: sites.  Passing one as a payload value would capture a mutable
+    #: ``Pod``/``NodeView``/plan reference in the record; emit sites
+    #: must pass primitives (``pod.name``, ``len(victims)``, ...).
+    ledger_live_object_names: FrozenSet[str] = _frozen(
+        "pod", "pods", "view", "views", "node", "victim", "victims",
+        "replacement", "preemptor", "job", "plan", "candidate",
+        "candidates", "kubelet", "outcome", "result", "spec", "self",
+    )
 
     def wall_clock_scoped(self, relpath: str, package: str) -> bool:
         """Whether DET002 applies to the module at *relpath*."""

@@ -49,6 +49,7 @@ from .format import (
     rows_to_json,
     rows_to_table,
 )
+from ..obs.ledger import ObserveConfig
 from .scenario import RunResult, Scenario
 from .sweep import Sweep, SweepResult, expand_grid
 
@@ -57,6 +58,7 @@ __all__ = [
     "RUN_SCHEMA",
     "SCHEDULERS",
     "SWEEP_SCHEMA",
+    "ObserveConfig",
     "Registry",
     "RunResult",
     "Scenario",

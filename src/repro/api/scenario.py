@@ -31,6 +31,7 @@ from ..constants import (
     SCHEDULER_PERIOD_SECONDS,
 )
 from ..errors import SimulationError
+from ..obs.ledger import ObserveConfig
 from ..policy.classes import DEFAULT_PREEMPTION_THRESHOLD
 from ..registry import TRACES, WORKLOADS
 from ..scheduler.base import Scheduler
@@ -156,6 +157,14 @@ class Scenario:
     cell_policy: str = "balanced"
     #: Consecutive deferrals before a pod spills to another cell.
     cell_spillover_after: int = 2
+
+    # -- observability -----------------------------------------------------
+    #: Export targets for the decision ledger (JSONL), span trace
+    #: (Chrome trace-event JSON) and metrics snapshot (Prometheus
+    #: text).  ``None`` — the default — runs the allocation-free null
+    #: observer; an observed run's :meth:`RunResult.signature` is
+    #: identical to the unobserved one, on every engine.
+    observe: Optional[ObserveConfig] = None
 
     # -- failure injection / stop -----------------------------------------
     node_failures: Sequence[Tuple[float, str]] = ()
@@ -297,6 +306,7 @@ class Scenario:
             cells=self.cells,
             cell_policy=self.cell_policy,
             cell_spillover_after=self.cell_spillover_after,
+            observe=self.observe,
         )
 
     def build_trace(self) -> Trace:
@@ -352,6 +362,9 @@ class Scenario:
             eviction_count=replay.eviction_count,
             wait_reasons=replay.wait_reasons,
             cell_spillovers=replay.cell_spillovers,
+            ledger_path=replay.ledger_path,
+            trace_path=replay.trace_path,
+            metrics_path=replay.metrics_path,
         )
 
 
@@ -388,6 +401,13 @@ class RunResult:
     #: Pods the global dispatcher re-routed across cells (0 in the
     #: flat oracle and in every ``cells=1`` replay).
     cell_spillovers: int = 0
+    #: Where the observability exports landed (``None`` unless the
+    #: scenario's ``observe`` requested them).  Deliberately excluded
+    #: from :meth:`signature` and :meth:`to_row`: observation must
+    #: never change what two runs count as equal.
+    ledger_path: Optional[str] = None
+    trace_path: Optional[str] = None
+    metrics_path: Optional[str] = None
 
     def pod_signature(self) -> Tuple:
         """Every pod's full lifecycle, for bit-for-bit comparison."""

@@ -97,6 +97,7 @@ class CellReplay(_Replay):
                 config.preemption_priority_threshold
             ),
             queue=self.router,
+            observer=self.obs,
         )
         self.dispatcher.bind(
             orchestrator.kubelets,
@@ -181,7 +182,9 @@ class CellReplay(_Replay):
                     views_by_cell[cell_id].append(view)
         self._rerouted_uids.clear()
         deferred_by_cell: List[List[Pod]] = []
+        spans = self.obs.spans
         for cell in self.cells:
+            span_start = spans.begin()
             result = self.orchestrator.scheduling_pass(
                 cell.scheduler,
                 now,
@@ -193,6 +196,7 @@ class CellReplay(_Replay):
                     )
                 ),
             )
+            spans.end(span_start, "cell_pass", now, cell.cell_id)
             self._consume_pass_result(result, now)
             deferred_by_cell.append(result.deferred)
         self._update_spillover(deferred_by_cell)
@@ -211,6 +215,13 @@ class CellReplay(_Replay):
         self._rerouted_uids.add(pod.uid)
         self._deferral_streaks.pop(pod.uid, None)
         self.spillover_count += 1
+        ledger = self.obs.ledger
+        if ledger.enabled:
+            ledger.emit(
+                self.engine.now, "spillover",
+                pod=pod.name, from_cell=current, to_cell=target,
+                cause="unschedulable",
+            )
         return True
 
     def _update_spillover(
@@ -251,6 +262,15 @@ class CellReplay(_Replay):
                     ):
                         router.move(pod, target)
                         self.spillover_count += 1
+                        ledger = self.obs.ledger
+                        if ledger.enabled:
+                            ledger.emit(
+                                self.engine.now, "spillover",
+                                pod=pod.name,
+                                from_cell=cell.cell_id,
+                                to_cell=target,
+                                cause="deferred",
+                            )
                         continue
                 streaks[uid] = streak
         self._deferral_streaks = streaks

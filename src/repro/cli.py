@@ -11,6 +11,9 @@ Usage::
     python -m repro sweep --grid sgx_fraction=0,0.5,1 --workers 4
     python -m repro profile --jobs 1000 --top 30 --collapsed-out out.txt
     python -m repro check --format json --baseline repro-check-baseline.json
+    python -m repro record --seed 3 --ledger run.ledger.jsonl
+    python -m repro diff a.ledger.jsonl b.ledger.jsonl
+    python -m repro explain --ledger run.ledger.jsonl --pod sgx-job-4
 
 The figure commands regenerate the paper's evaluation tables; ``run``
 and ``sweep`` execute ad-hoc scenarios through :mod:`repro.api`, with
@@ -19,9 +22,15 @@ the same row formatter behind the table and ``--json`` output.
 (:mod:`repro.profiling`) and prints the top-frame table, optionally
 writing flame-graph-compatible collapsed stacks.  ``check`` runs the
 determinism & invariant static analysis (:mod:`repro.analysis`) over
-the source tree.  Exit status is 0 on success, 1 when ``check`` has
-findings, 2 on usage errors (including unknown scheduler/workload/
-grid-field names, which die before anything runs).
+the source tree.  The observability trio drives :mod:`repro.obs`:
+``record`` runs any ``run`` scenario with the decision ledger (and
+optionally span trace / metrics snapshot) enabled, ``diff`` compares
+two ledgers and pinpoints the first diverging decision, and
+``explain`` reconstructs one pod's lifecycle from a ledger.  Exit
+status is 0 on success, 1 when ``check`` has findings or ``diff``
+found divergence, 2 on usage errors (including unknown scheduler/
+workload/grid-field names, missing ledger files and unknown pod
+names, which die before anything runs).
 """
 
 from __future__ import annotations
@@ -32,7 +41,7 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
-from .api import Scenario, Sweep
+from .api import ObserveConfig, Scenario, Sweep
 from .constants import DEFAULT_RUN_SEED, DEFAULT_TRACE_SEED
 from .errors import RegistryError, SimulationError, TraceError
 from .experiments import common
@@ -371,6 +380,101 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write flamegraph.pl-compatible collapsed stacks here",
     )
+    record_parser = subparsers.add_parser(
+        "record",
+        parents=[scenario_flags],
+        help="run one scenario with the decision ledger enabled",
+        description=(
+            "Run one scenario (same flags as 'run') with the "
+            "observability exports on: every scheduling decision goes "
+            "to a repro.ledger/v1 JSONL file, and optionally a Chrome "
+            "trace (open in Perfetto) and a Prometheus metrics "
+            "snapshot.  The run itself is bit-for-bit identical to "
+            "the unobserved one."
+        ),
+    )
+    record_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shorthand for --cluster-workers (as on run)",
+    )
+    record_parser.add_argument(
+        "--ledger",
+        metavar="PATH",
+        required=True,
+        help="write the decision ledger (repro.ledger/v1 JSONL) here",
+    )
+    record_parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="also write a Chrome trace-event JSON of the run's spans",
+    )
+    record_parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="also write a Prometheus text-format metrics snapshot",
+    )
+    diff_parser = subparsers.add_parser(
+        "diff",
+        help="compare two decision ledgers, pinpoint the divergence",
+        description=(
+            "Walk two repro.ledger/v1 files in lockstep, report "
+            "hit/diff statistics, and show the first diverging "
+            "decision with context from both sides plus the config "
+            "knobs that differ.  Exit 0 when the decision streams are "
+            "identical, 1 when they diverge, 2 on unreadable inputs."
+        ),
+    )
+    diff_parser.add_argument(
+        "left", metavar="A.jsonl", help="baseline ledger file"
+    )
+    diff_parser.add_argument(
+        "right", metavar="B.jsonl", help="candidate ledger file"
+    )
+    diff_parser.add_argument(
+        "--context",
+        type=int,
+        default=3,
+        help="matching records shown around the first divergence "
+        "(default %(default)s)",
+    )
+    diff_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured diff document instead of text",
+    )
+    explain_parser = subparsers.add_parser(
+        "explain",
+        help="reconstruct one pod's lifecycle from a decision ledger",
+        description=(
+            "Replay one pod's story out of a repro.ledger/v1 file: "
+            "when it was submitted, how many passes deferred it and "
+            "why (EPC vs memory vs CPU), where it was placed, and any "
+            "requeues, evictions, preemptions, migrations or cell "
+            "spillovers along the way.  Exit 2 when the ledger is "
+            "unreadable or the pod never appears in it."
+        ),
+    )
+    explain_parser.add_argument(
+        "--ledger",
+        metavar="PATH",
+        required=True,
+        help="the repro.ledger/v1 JSONL file to read",
+    )
+    explain_parser.add_argument(
+        "--pod",
+        metavar="NAME",
+        required=True,
+        help="the pod name to explain",
+    )
+    explain_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured lifecycle report instead of text",
+    )
     check_parser = subparsers.add_parser(
         "check",
         help="run the determinism & invariant static analysis",
@@ -514,7 +618,9 @@ def _base_scenario(args: argparse.Namespace) -> Scenario:
     if args.epc_mib is not None:
         kwargs["epc_total_bytes"] = int(mib(args.epc_mib))
     cluster_workers = args.cluster_workers
-    if cluster_workers is None and args.command in ("run", "profile"):
+    if cluster_workers is None and args.command in (
+        "run", "profile", "record"
+    ):
         # ``repro run --workers`` is the documented shorthand (and
         # ``profile`` mirrors ``run``); on sweep, --workers is the
         # process-pool size instead.
@@ -541,6 +647,85 @@ def _cmd_run(
         # corrupt trace file is user input, not an internal failure.
         parser.error(str(exc))
     print(result.to_json() if args.json else result.to_table())
+    return 0
+
+
+def _cmd_record(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    try:
+        scenario = _base_scenario(args).with_(
+            observe=ObserveConfig(
+                ledger_path=args.ledger,
+                trace_path=args.trace_out,
+                metrics_path=args.metrics_out,
+            )
+        )
+    except (
+        SimulationError, RegistryError, TraceError, TypeError, ValueError
+    ) as exc:
+        parser.error(str(exc))
+    try:
+        result = scenario.run()
+    except TraceError as exc:
+        parser.error(str(exc))
+    except OSError as exc:
+        # An unwritable --ledger/--trace-out/--metrics-out path is
+        # user input, same class of mistake as a bad trace path.
+        parser.error(str(exc))
+    if args.json:
+        document = json.loads(result.to_json())
+        document["ledger"] = result.ledger_path
+        document["trace"] = result.trace_path
+        document["metrics"] = result.metrics_path
+        print(json.dumps(document, indent=2))
+        return 0
+    print(result.to_table())
+    print()
+    print(f"ledger written to {result.ledger_path}")
+    if result.trace_path is not None:
+        print(f"trace written to {result.trace_path}")
+    if result.metrics_path is not None:
+        print(f"metrics written to {result.metrics_path}")
+    return 0
+
+
+def _cmd_diff(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    from .obs import diff_ledgers, format_diff, load_ledger
+
+    try:
+        if args.context < 0:
+            raise SimulationError(
+                f"--context must be >= 0: {args.context}"
+            )
+        left = load_ledger(args.left)
+        right = load_ledger(args.right)
+    except SimulationError as exc:
+        parser.error(str(exc))
+    diff = diff_ledgers(left, right, context=args.context)
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=2))
+    else:
+        print(format_diff(diff))
+    return 0 if diff.identical else 1
+
+
+def _cmd_explain(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    from .obs import explain_pod, format_explain, load_ledger
+
+    try:
+        ledger = load_ledger(args.ledger)
+        report = explain_pod(ledger, args.pod)
+    except SimulationError as exc:
+        parser.error(str(exc))
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_explain(report))
     return 0
 
 
@@ -708,6 +893,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"analysis of the source tree"
         )
         print(
+            f"{'record':{width}s}  one scenario with the decision "
+            f"ledger (and span/metrics exports) on"
+        )
+        print(
+            f"{'diff':{width}s}  compare two decision ledgers, "
+            f"pinpoint the first divergence"
+        )
+        print(
+            f"{'explain':{width}s}  reconstruct one pod's lifecycle "
+            f"from a decision ledger"
+        )
+        print(
             f"{'traces':{width}s}  the registered trace adapters "
             f"(--trace catalogue)"
         )
@@ -727,6 +924,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args, parser)
     if args.command == "check":
         return _cmd_check(args, parser)
+    if args.command == "record":
+        return _cmd_record(args, parser)
+    if args.command == "diff":
+        return _cmd_diff(args, parser)
+    if args.command == "explain":
+        return _cmd_explain(args, parser)
     _run_one(args.command, (args.trace_seed, args.run_seed))
     return 0
 

@@ -1,0 +1,190 @@
+"""Run metrics: a counter/gauge/histogram registry with Prometheus export.
+
+One :class:`MetricsRegistry` per observed run, populated by the replay
+at convergence from its deterministic counters (passes, placements,
+preemptions, per-kind ledger volumes, pod phase totals, a waiting-time
+histogram) and snapshotted to Prometheus text exposition format — the
+same file shape a scrape of a real scheduler would produce, so
+dashboards and ``promtool``-style tooling can consume a simulated run
+unchanged.
+
+Output is fully deterministic: metric families render sorted by name,
+series sorted by label set, and every value comes from simulated-time
+state — two identical runs write byte-identical snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: Default waiting-time histogram buckets (seconds).
+DEFAULT_BUCKETS = (1.0, 5.0, 15.0, 60.0, 300.0, 1800.0, 7200.0)
+
+#: (name, sorted ``(label, value)`` pairs) — one time series.
+_SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _series_key(name: str, labels: Dict[str, str]) -> _SeriesKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(labels: Tuple[Tuple[str, str], ...],
+                   extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = list(labels)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        '{}="{}"'.format(k, v.replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in pairs
+    )
+    return "{" + body + "}"
+
+
+def _render_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class _Histogram:
+    """Cumulative-bucket histogram state for one series."""
+
+    __slots__ = ("buckets", "bucket_counts", "total", "count")
+
+    def __init__(self, buckets: Tuple[float, ...]):
+        self.buckets = buckets
+        self.bucket_counts = [0] * len(buckets)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        for position, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[position] += 1
+
+
+class MetricsRegistry:
+    """Accumulates counters, gauges and histograms for one run."""
+
+    enabled = True
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self):
+        self._counters: Dict[_SeriesKey, float] = {}
+        self._gauges: Dict[_SeriesKey, float] = {}
+        self._histograms: Dict[_SeriesKey, _Histogram] = {}
+
+    def counter(self, name: str, value: float = 1.0, **labels) -> None:
+        """Add ``value`` to the counter series ``name{labels}``."""
+        key = _series_key(name, labels)
+        self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set the gauge series ``name{labels}`` to ``value``."""
+        self._gauges[_series_key(name, labels)] = value
+
+    def observe(self, name: str, value: float,
+                buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+                **labels) -> None:
+        """Record one observation into the histogram ``name{labels}``."""
+        key = _series_key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = _Histogram(buckets)
+        histogram.observe(value)
+
+    @property
+    def series_count(self) -> int:
+        """Distinct time series registered so far."""
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))
+
+    def render(self) -> str:
+        """The Prometheus text exposition snapshot."""
+        lines: List[str] = []
+        families: Dict[str, str] = {}
+        for key in self._counters:
+            families.setdefault(key[0], "counter")
+        for key in self._gauges:
+            families.setdefault(key[0], "gauge")
+        for key in self._histograms:
+            families.setdefault(key[0], "histogram")
+        for name in sorted(families):
+            family_type = families[name]
+            lines.append(f"# TYPE {name} {family_type}")
+            if family_type == "counter":
+                series = self._counters
+            elif family_type == "gauge":
+                series = self._gauges
+            else:
+                series = None
+            if series is not None:
+                for key in sorted(k for k in series if k[0] == name):
+                    labels = _render_labels(key[1])
+                    lines.append(
+                        f"{name}{labels} {_render_value(series[key])}"
+                    )
+                continue
+            keys = sorted(k for k in self._histograms if k[0] == name)
+            for key in keys:
+                histogram = self._histograms[key]
+                cumulative = 0
+                for bound, count in zip(histogram.buckets,
+                                        histogram.bucket_counts):
+                    cumulative += count
+                    labels = _render_labels(
+                        key[1], ("le", _render_value(bound))
+                    )
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                labels = _render_labels(key[1], ("le", "+Inf"))
+                lines.append(f"{name}_bucket{labels} {histogram.count}")
+                plain = _render_labels(key[1])
+                lines.append(
+                    f"{name}_sum{plain} {_render_value(histogram.total)}"
+                )
+                lines.append(f"{name}_count{plain} {histogram.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write(self, path: str) -> str:
+        """Write the snapshot to ``path``; returns the path."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())
+        return path
+
+
+class NullMetrics:
+    """The disabled registry: every method is a no-op."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def counter(self, name: str, value: float = 1.0, **labels) -> None:
+        return None
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        return None
+
+    def observe(self, name: str, value: float,
+                buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+                **labels) -> None:
+        return None
+
+    @property
+    def series_count(self) -> int:
+        return 0
+
+    def render(self) -> str:
+        return ""
+
+    def write(self, path: str) -> Optional[str]:
+        return None
+
+
+#: The shared disabled metrics registry.
+NULL_METRICS = NullMetrics()

@@ -27,6 +27,7 @@ from ..monitoring.aggregate import WindowedAggregateCache
 from ..monitoring.heapster import Heapster
 from ..monitoring.probe import SgxMetricsProbe
 from ..monitoring.tsdb import TimeSeriesDatabase
+from ..obs.observer import NULL_OBSERVER
 from ..policy.classes import DEFAULT_PREEMPTION_THRESHOLD
 from ..policy.preemption import EvictionCandidate, PreemptionPolicy
 from ..policy.qos import is_evictable_by
@@ -96,8 +97,16 @@ class Orchestrator:
         preemption_policy: Optional[PreemptionPolicy] = None,
         preemption_priority_threshold: int = DEFAULT_PREEMPTION_THRESHOLD,
         queue: Optional[PendingQueue] = None,
+        observer=None,
     ):
         self.cluster = cluster
+        #: The run's observer bundle (null when the replay is
+        #: unobserved); the ledger and span recorder are threaded into
+        #: the state service, trigger hub, schedulers and preemption
+        #: policy from here.
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        self.ledger = self.observer.ledger
+        self.spans = self.observer.spans
         #: The planner consulted for deferred pods at or above the
         #: threshold; ``None`` (or a policy that never preempts) keeps
         #: the paper's strictly non-preemptive scheduling.
@@ -163,7 +172,10 @@ class Orchestrator:
             window_seconds=metrics_window_seconds,
             cache=self.aggregate_cache,
             allow_query_cache=use_state_cache,
+            observer=self.observer,
         )
+        if preemption_policy is not None:
+            preemption_policy.ledger = self.ledger
         # An injected queue (the sharded runner's cell router) must
         # duck-type PendingQueue; the default is the flat FCFS queue.
         self.queue = (
@@ -180,6 +192,7 @@ class Orchestrator:
         #: drivers react to state changes instead of polling on a
         #: timer (the periodic mode simply never consults it).
         self.trigger = SchedulingTrigger()
+        self.trigger.ledger = self.ledger
 
     def _make_probe(self, kubelet: Kubelet) -> SgxMetricsProbe:
         driver = kubelet.node.driver
@@ -329,8 +342,17 @@ class Orchestrator:
             ]
         if not pending:
             return result
+        ledger = self.ledger
         if views is None:
             views = self.state_service.build_views(now)
+        # pass_begin lands *after* the view build so the record order
+        # (cache_rebuild, then pass_begin) matches the sharded runner,
+        # which builds views up front and passes them in — the
+        # cells=1-vs-flat ledger-identity gate depends on it.
+        if ledger.enabled:
+            ledger.emit(now, "pass_begin", pending=len(pending))
+        # Rebind every pass: cell schedulers all share this ledger.
+        scheduler.ledger = ledger
         outcome = scheduler.schedule(pending, views, now)
         result.selection = scheduler.last_selection_stats
 
@@ -342,6 +364,11 @@ class Orchestrator:
             self.queue.remove(pod)
             pod.mark_failed(now, "Unschedulable: fits no node's capacity")
             result.rejected.append(pod)
+            if ledger.enabled:
+                ledger.emit(
+                    now, "rejection",
+                    pod=pod.name, reason="unschedulable",
+                )
 
         for assignment in outcome.assignments:
             pod = assignment.pod
@@ -361,6 +388,11 @@ class Orchestrator:
                 pod.mark_unbound()
                 ready_at = self.queue.requeue(pod, now)
                 result.requeued.append(pod)
+                if ledger.enabled:
+                    ledger.emit(
+                        now, "requeue",
+                        pod=pod.name, ready_at=ready_at,
+                    )
                 self.trigger.publish(
                     ClusterEvent.POD_REQUEUED,
                     now,
@@ -370,6 +402,13 @@ class Orchestrator:
             else:
                 pod.mark_failed(now, admission.failure_reason or "killed")
                 result.killed.append(pod)
+                if ledger.enabled:
+                    ledger.emit(
+                        now, "launch_killed",
+                        pod=pod.name,
+                        node=assignment.node_name,
+                        reason=admission.failure_reason or "killed",
+                    )
 
         result.wait_reasons = dict(outcome.wait_reasons)
         deferred = list(outcome.deferred)
@@ -382,6 +421,28 @@ class Orchestrator:
                 scheduler, views, deferred, result, now
             )
         result.deferred.extend(deferred)
+        if ledger.enabled:
+            stats = result.selection
+            ledger.emit(
+                now, "pass_end",
+                placed=len(result.launched),
+                deferred=len(result.deferred),
+                rejected=len(result.rejected),
+                requeued=len(result.requeued),
+                killed=len(result.killed),
+                evicted=len(result.evicted),
+                preemptions=result.preemptions,
+                feasibility_checks=(
+                    stats.feasibility_checks if stats is not None else -1
+                ),
+                bound_skips=stats.bound_skips if stats is not None else -1,
+                score_cutoffs=(
+                    stats.score_cutoffs if stats is not None else -1
+                ),
+                statics_reused=(
+                    stats.statics_reused if stats is not None else -1
+                ),
+            )
         return result
 
     # -- preemption (the policy layer's in-pass hook) ----------------------
@@ -490,6 +551,9 @@ class Orchestrator:
         """
         policy = self.preemption_policy
         assert policy is not None
+        ledger = self.ledger
+        spans = self.spans
+        span_start = spans.begin()
         views_by_name = {view.name: view for view in views}
         index = scheduler.last_index
         facts = self._collect_eviction_facts(now)
@@ -516,8 +580,21 @@ class Orchestrator:
                 still_deferred.append(pod)
                 continue
             view = views_by_name[plan.node_name]
+            if ledger.enabled:
+                ledger.emit(
+                    now, "preemption",
+                    pod=pod.name, node=plan.node_name,
+                    victims=len(plan.victims), cost=plan.cost,
+                )
             for candidate in plan.victims:
                 victim = candidate.pod
+                if ledger.enabled:
+                    ledger.emit(
+                        now, "eviction",
+                        victim=victim.name, node=plan.node_name,
+                        preemptor=pod.name,
+                        lost_work_s=candidate.lost_work_seconds,
+                    )
                 self.kill_pod(
                     victim, now, f"Evicted: preempted by {pod.name}"
                 )
@@ -552,6 +629,11 @@ class Orchestrator:
                 pod.mark_unbound()
                 ready_at = self.queue.requeue(pod, now)
                 result.requeued.append(pod)
+                if ledger.enabled:
+                    ledger.emit(
+                        now, "requeue",
+                        pod=pod.name, ready_at=ready_at,
+                    )
                 self.trigger.publish(
                     ClusterEvent.POD_REQUEUED,
                     now,
@@ -561,6 +643,7 @@ class Orchestrator:
             else:
                 pod.mark_failed(now, admission.failure_reason or "killed")
                 result.killed.append(pod)
+        spans.end(span_start, "preempt", now)
         return still_deferred
 
     # -- lifecycle driven by the event loop ----------------------------------

@@ -47,6 +47,8 @@ import heapq
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+from ..obs.ledger import NULL_LEDGER
+
 
 class ClusterEvent(enum.Enum):
     """Cluster state transitions that can make a scheduling pass useful."""
@@ -116,6 +118,10 @@ class SchedulingTrigger:
         self.events_published = 0
         self.passes_started = 0
         self.events_coalesced = 0
+        #: The run's decision ledger (the orchestrator rebinds this to
+        #: the live one on observed runs); every published event is
+        #: recorded as a ``trigger`` ledger record.
+        self.ledger = NULL_LEDGER
 
     # -- pub/sub -----------------------------------------------------------
 
@@ -140,6 +146,12 @@ class SchedulingTrigger:
             node_name=node_name,
         )
         self.events_published += 1
+        ledger = self.ledger
+        if ledger.enabled:
+            ledger.emit(
+                now, "trigger",
+                event=kind.value, pod=pod_name, node=node_name,
+            )
         if event.ready_at > now:
             self._seq += 1
             heapq.heappush(

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..cluster.resources import ResourceVector
+from ..obs.ledger import NULL_LEDGER
 from ..registry import register_preemption_policy
 from ..units import pages as bytes_to_pages
 
@@ -105,6 +106,10 @@ class PreemptionPolicy(abc.ABC):
     #: entirely — the cheap way to keep the non-preemptive default free
     #: of per-pass overhead.
     never_preempts = False
+    #: The run's decision ledger; the orchestrator rebinds this on
+    #: observed runs so every planner verdict (chosen node, victim
+    #: count, cost — or "no eviction set helps") is recorded.
+    ledger = NULL_LEDGER
 
     def plan(
         self,
@@ -131,6 +136,19 @@ class PreemptionPolicy(abc.ABC):
             score = self._score(plan)
             if best_score is None or score < best_score:
                 best, best_score = plan, score
+        ledger = self.ledger
+        if ledger.enabled:
+            if best is None:
+                ledger.emit(
+                    now, "preemption_plan",
+                    pod=preemptor.name, node=None, victims=0, cost=-1.0,
+                )
+            else:
+                ledger.emit(
+                    now, "preemption_plan",
+                    pod=preemptor.name, node=best.node_name,
+                    victims=len(best.victims), cost=best.cost,
+                )
         return best
 
     def _feasible_set(

@@ -26,6 +26,8 @@ from ..monitoring.aggregate import WindowedAggregateCache
 from ..monitoring.heapster import MEASUREMENT_MEMORY
 from ..monitoring.influxql import execute_query, parse_query
 from ..monitoring.probe import MEASUREMENT_EPC
+from ..obs.ledger import NULL_LEDGER
+from ..obs.spans import NULL_SPANS
 from ..orchestrator.kubelet import Kubelet
 from ..orchestrator.pod import Pod
 from .filtering import can_ever_fit, feasible_candidates, prefer_non_sgx
@@ -204,6 +206,7 @@ class ClusterStateService:
         "allow_query_cache", "reuse_clean_snapshots", "_last_views",
         "_last_fingerprint", "snapshots_reused",
         "malformed_rows_skipped", "_epc_query", "_memory_query",
+        "ledger", "spans",
     )
 
     def __init__(
@@ -214,6 +217,7 @@ class ClusterStateService:
         cache: Optional[WindowedAggregateCache] = None,
         allow_query_cache: bool = True,
         reuse_clean_snapshots: bool = True,
+        observer=None,
     ):
         if cache is not None and cache.window_seconds != window_seconds:
             raise SchedulingError(
@@ -241,6 +245,11 @@ class ClusterStateService:
         #: stays inside the window, so this tracks exposure, not
         #: distinct rows.
         self.malformed_rows_skipped = 0
+        #: The run's decision ledger / span recorder (null when the
+        #: replay is unobserved); :meth:`build_views` records whether
+        #: each pass rebuilt its views or reused the clean snapshot.
+        self.ledger = observer.ledger if observer is not None else NULL_LEDGER
+        self.spans = observer.spans if observer is not None else NULL_SPANS
         self._epc_query = parse_query(
             _PER_POD_QUERY.format(
                 measurement=MEASUREMENT_EPC, window=window_seconds
@@ -417,10 +426,17 @@ class ClusterStateService:
         matches the previous pass's reuses the retained views (the
         malformed-row counter then reflects rebuilt passes only).
         """
+        ledger = self.ledger
         if self.reuse_clean_snapshots and self.state_unchanged(now):
             self.snapshots_reused += 1
+            if ledger.enabled:
+                ledger.emit(now, "cache_rebuild", reused=True)
             assert self._last_views is not None
             return self._clone_views(self._last_views)
+        if ledger.enabled:
+            ledger.emit(now, "cache_rebuild", reused=False)
+        spans = self.spans
+        span_start = spans.begin()
         measured = self._measured_usage(now)
         empty: Dict[str, Tuple[int, int]] = {}
         views: List[NodeView] = []
@@ -458,6 +474,7 @@ class ClusterStateService:
             # the cache's stability horizon for the window at *now*.
             self._last_views = self._clone_views(views)
             self._last_fingerprint = self._state_fingerprint(now)
+        spans.end(span_start, "view_rebuild", now)
         return views
 
 
@@ -495,6 +512,7 @@ class Scheduler(abc.ABC):
     __slots__ = (
         "use_measured", "strict_fcfs", "preserve_sgx_nodes", "indexed",
         "_index_statics_cache", "last_selection_stats", "last_index",
+        "ledger",
     )
 
     def __init__(
@@ -518,6 +536,10 @@ class Scheduler(abc.ABC):
         #: preemption step keeps it consistent — O(log n) per
         #: un-placement — while evictions mutate the pass's views.
         self.last_index: Optional[NodeCandidateIndex] = None
+        #: The run's decision ledger.  The orchestrator rebinds this at
+        #: the top of every pass (cell schedulers share the cluster's
+        #: ledger that way); standalone schedulers keep the null one.
+        self.ledger = NULL_LEDGER
 
     def schedule(
         self, pending: Sequence[Pod], views: Sequence[NodeView], now: float
@@ -527,6 +549,7 @@ class Scheduler(abc.ABC):
             return self._schedule_indexed(pending, views, now)
         self.last_selection_stats = None
         self.last_index = None
+        ledger = self.ledger
         outcome = SchedulingOutcome()
         views = list(views)
         if not self.use_measured:
@@ -540,17 +563,28 @@ class Scheduler(abc.ABC):
             if self.preserve_sgx_nodes:
                 candidates = prefer_non_sgx(pod, candidates)
             if not candidates:
-                outcome.defer(pod, self._wait_reason(pod, views))
+                reason = self._wait_reason(pod, views)
+                outcome.defer(pod, reason)
+                if ledger.enabled:
+                    ledger.emit(now, "deferral", pod=pod.name, reason=reason)
                 if self.strict_fcfs:
                     remaining = list(pending)
                     tail = remaining[remaining.index(pod) + 1:]
                     for blocked in tail:
                         outcome.defer(blocked, "head_of_line")
+                        if ledger.enabled:
+                            ledger.emit(
+                                now, "deferral",
+                                pod=blocked.name, reason="head_of_line",
+                            )
                     break
                 continue
             chosen = self._select(pod, candidates, views)
             if chosen is None:
-                outcome.defer(pod, self._wait_reason(pod, views))
+                reason = self._wait_reason(pod, views)
+                outcome.defer(pod, reason)
+                if ledger.enabled:
+                    ledger.emit(now, "deferral", pod=pod.name, reason=reason)
                 continue
             if not pod.spec.resources.requests.fits_within(chosen.available):
                 raise SchedulingError(
@@ -561,6 +595,12 @@ class Scheduler(abc.ABC):
             outcome.assignments.append(
                 Assignment(pod=pod, node_name=chosen.name)
             )
+            if ledger.enabled:
+                ledger.emit(
+                    now, "placement",
+                    pod=pod.name, node=chosen.name,
+                    runner_ups=len(candidates) - 1,
+                )
         return outcome
 
     def _schedule_indexed(
@@ -577,6 +617,7 @@ class Scheduler(abc.ABC):
         empty-candidates branch, so the outcomes coincide bit for bit.
         """
         outcome = SchedulingOutcome()
+        ledger = self.ledger
         views = list(views)
         if not self.use_measured:
             for view in views:
@@ -593,16 +634,27 @@ class Scheduler(abc.ABC):
                 continue
             had_candidates, chosen = self._select_indexed(pod, index)
             if not had_candidates:
-                outcome.defer(pod, self._wait_reason_indexed(pod, index))
+                reason = self._wait_reason_indexed(pod, index)
+                outcome.defer(pod, reason)
+                if ledger.enabled:
+                    ledger.emit(now, "deferral", pod=pod.name, reason=reason)
                 if self.strict_fcfs:
                     remaining = list(pending)
                     tail = remaining[remaining.index(pod) + 1:]
                     for blocked in tail:
                         outcome.defer(blocked, "head_of_line")
+                        if ledger.enabled:
+                            ledger.emit(
+                                now, "deferral",
+                                pod=blocked.name, reason="head_of_line",
+                            )
                     break
                 continue
             if chosen is None:
-                outcome.defer(pod, self._wait_reason_indexed(pod, index))
+                reason = self._wait_reason_indexed(pod, index)
+                outcome.defer(pod, reason)
+                if ledger.enabled:
+                    ledger.emit(now, "deferral", pod=pod.name, reason=reason)
                 continue
             if not pod.spec.resources.requests.fits_within(chosen.available):
                 raise SchedulingError(
@@ -615,6 +667,13 @@ class Scheduler(abc.ABC):
             outcome.assignments.append(
                 Assignment(pod=pod, node_name=chosen.name)
             )
+            if ledger.enabled:
+                # The indexed fast paths never materialise the full
+                # candidate list; -1 marks the count as unavailable.
+                ledger.emit(
+                    now, "placement",
+                    pod=pod.name, node=chosen.name, runner_ups=-1,
+                )
         stats.wait_reasons = dict(outcome.wait_reasons)
         return outcome
 

@@ -187,6 +187,14 @@ class EpcRebalancer:
                             replacement=replacement,
                         )
                     )
+                    ledger = self.orchestrator.ledger
+                    if ledger.enabled:
+                        ledger.emit(
+                            now, "migration_failed",
+                            pod=pod.name, source=node_name,
+                            target=target,
+                            replacement=replacement.name,
+                        )
                     node.epc.rebalance_residency()
                     continue
                 relieved = True
@@ -199,6 +207,13 @@ class EpcRebalancer:
                         downtime_seconds=downtime,
                     )
                 )
+                ledger = self.orchestrator.ledger
+                if ledger.enabled:
+                    ledger.emit(
+                        now, "migration",
+                        pod=pod.name, source=node_name, target=target,
+                        pages=pages, downtime_s=downtime,
+                    )
                 node.epc.rebalance_residency()
             if node.epc.overcommitted and not relieved:
                 report.unrelieved_nodes.append(node_name)

@@ -66,6 +66,8 @@ from ..constants import (
     SCHEDULER_PERIOD_SECONDS,
 )
 from ..errors import PolicyError, RegistryError, SimulationError
+from ..obs.ledger import ObserveConfig
+from ..obs.observer import build_observer
 from ..orchestrator.controller import Orchestrator
 from ..orchestrator.pod import Pod
 from ..policy.classes import (
@@ -232,8 +234,19 @@ class ReplayConfig:
     #: Consecutive deferrals a cell may accumulate for one pod before
     #: the dispatcher spills it to the next-best feasible cell.
     cell_spillover_after: int = 2
+    #: Observability exports (decision ledger JSONL, Chrome trace
+    #: JSON, Prometheus metrics snapshot).  ``None`` — the default —
+    #: keeps the allocation-free null observer; observed runs are
+    #: signature-identical to unobserved ones across every engine.
+    observe: Optional[ObserveConfig] = None
 
     def __post_init__(self):
+        if self.observe is not None and not isinstance(
+            self.observe, ObserveConfig
+        ):
+            raise SimulationError(
+                f"observe must be an ObserveConfig: {self.observe!r}"
+            )
         # Accept plain dicts for the option fields; store sorted items
         # so the config stays frozen, hashable and picklable.
         for option_field in (
@@ -390,6 +403,13 @@ class ReplayResult:
     #: Pods the dispatcher re-routed across cells (0 in the flat
     #: oracle and, by construction, in every ``cells=1`` replay).
     cell_spillovers: int = 0
+    #: Where the observability exports landed (``None`` when the
+    #: corresponding :class:`~repro.obs.ledger.ObserveConfig` output
+    #: was not requested).  Diagnostic only — never part of
+    #: result signatures.
+    ledger_path: Optional[str] = None
+    trace_path: Optional[str] = None
+    metrics_path: Optional[str] = None
 
 
 def make_scheduler(config: ReplayConfig) -> Scheduler:
@@ -499,7 +519,7 @@ class _Replay:
         "_job_seq", "_sgx_node_names", "unsubmitted", "plans",
         "rebalancer", "queue_series", "migration_count",
         "passes_executed", "passes_skipped", "preemption_count",
-        "eviction_count", "wait_reasons", "spillover_count",
+        "eviction_count", "wait_reasons", "spillover_count", "obs",
     )
 
     def __init__(self, trace, config: ReplayConfig):
@@ -520,6 +540,7 @@ class _Replay:
             cluster_kwargs["sgx_workers"] = config.sgx_workers
         self.cluster = paper_cluster(**cluster_kwargs)
         self.perf = SgxPerfModel()
+        self.obs = build_observer(config.observe, config)
         self.orchestrator = self._make_orchestrator()
         self.scheduler = make_scheduler(config)
         self.engine = self._make_engine()
@@ -587,6 +608,7 @@ class _Replay:
             preemption_priority_threshold=(
                 config.preemption_priority_threshold
             ),
+            observer=self.obs,
         )
 
     def _make_engine(self) -> SimulationEngine:
@@ -662,6 +684,9 @@ class _Replay:
             # the one the oracle records and Fig. 7's series match.
             self.passes_skipped += 1
             self.log.record(now, EventKind.PASS_SKIPPED)
+            ledger = self.obs.ledger
+            if ledger.enabled:
+                ledger.emit(now, "pass_skipped")
             self._reschedule_all_nodes(now)
             self._sample_queue(now)
             if self._active():
@@ -686,7 +711,10 @@ class _Replay:
         :meth:`_consume_pass_result`, so the bookkeeping (logging,
         start events, counters) is shared code.
         """
+        spans = self.obs.spans
+        span_start = spans.begin()
         result = self.orchestrator.scheduling_pass(self.scheduler, now)
+        spans.end(span_start, "pass", now)
         self._consume_pass_result(result, now)
 
     def _schedule_start(self, pod: Pod, startup_seconds: float) -> None:
@@ -780,7 +808,10 @@ class _Replay:
         assert self.rebalancer is not None
         # Bank progress before occupancy moves between nodes.
         self._sync_all_nodes(now)
+        spans = self.obs.spans
+        span_start = spans.begin()
         report = self.rebalancer.rebalance(now)
+        spans.end(span_start, "rebalance", now)
         for action in report.actions:
             self.migration_count += 1
             job = next(
@@ -987,8 +1018,12 @@ class _Replay:
             self.engine.schedule_at(
                 crash_time, lambda n=node_name: self._crash_node(n)
             )
+        spans = self.obs.spans
+        span_start = spans.begin()
         self.engine.run(until=self.config.max_sim_seconds)
+        spans.end(span_start, "replay", self.engine.now)
         if self._active():
+            self.obs.ledger.close()
             raise SimulationError(
                 "replay did not converge within "
                 f"{self.config.max_sim_seconds} simulated seconds "
@@ -1006,7 +1041,7 @@ class _Replay:
                 default=0.0,
             ),
         )
-        return ReplayResult(
+        result = ReplayResult(
             config=self.config,
             metrics=metrics,
             log=self.log,
@@ -1020,6 +1055,82 @@ class _Replay:
             wait_reasons=dict(self.wait_reasons),
             cell_spillovers=self.spillover_count,
         )
+        self._finish_observation(result)
+        return result
+
+    def _finish_observation(self, result: ReplayResult) -> None:
+        """Seal the run's observability exports onto *result*.
+
+        The ``run_end`` ledger record summarises the whole run (its
+        payload comes from the same counters the result carries, so
+        ledger and result can be cross-checked); the metrics registry
+        is populated deterministically from converged state — counters
+        and gauges derive from sim-time quantities only, so snapshots
+        are byte-identical across repeat runs of one scenario.
+        """
+        obs = self.obs
+        if not obs.enabled:
+            return
+        now = self.engine.now
+        ledger = obs.ledger
+        if ledger.enabled:
+            ledger.emit(
+                now, "run_end",
+                makespan_s=result.metrics.makespan_seconds,
+                passes=result.passes_executed,
+                skipped=result.passes_skipped,
+                preemptions=result.preemption_count,
+                evictions=result.eviction_count,
+                migrations=result.migration_count,
+                spillovers=result.cell_spillovers,
+            )
+            ledger.close()
+            result.ledger_path = ledger.path
+        metrics_reg = obs.metrics
+        if metrics_reg.enabled:
+            reg = metrics_reg
+            reg.counter(
+                "repro_passes_total", result.passes_executed,
+                outcome="executed",
+            )
+            reg.counter(
+                "repro_passes_total", result.passes_skipped,
+                outcome="skipped",
+            )
+            reg.counter("repro_preemptions_total", result.preemption_count)
+            reg.counter("repro_evictions_total", result.eviction_count)
+            reg.counter("repro_migrations_total", result.migration_count)
+            reg.counter("repro_spillovers_total", result.cell_spillovers)
+            for reason in sorted(result.wait_reasons):
+                reg.counter(
+                    "repro_wait_reasons_total",
+                    result.wait_reasons[reason],
+                    reason=reason,
+                )
+            for kind in sorted(ledger.counts):
+                reg.counter(
+                    "repro_ledger_events_total",
+                    ledger.counts[kind],
+                    kind=kind,
+                )
+            reg.gauge(
+                "repro_makespan_seconds", result.metrics.makespan_seconds
+            )
+            phases: Dict[str, int] = {}
+            for pod in result.metrics.pods:
+                phases[pod.phase.value] = phases.get(pod.phase.value, 0) + 1
+                if pod.bound_at is not None:
+                    reg.observe(
+                        "repro_pod_wait_seconds",
+                        pod.bound_at - pod.submitted_at,
+                    )
+            for phase in sorted(phases):
+                reg.gauge("repro_pods", phases[phase], phase=phase)
+            assert obs.config is not None
+            result.metrics_path = reg.write(obs.config.metrics_path)
+        if obs.spans.enabled:
+            assert obs.config is not None
+            result.trace_path = obs.spans.write(obs.config.trace_path)
 
 
 def run_replay(trace, config: ReplayConfig) -> ReplayResult:

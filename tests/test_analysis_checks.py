@@ -771,11 +771,132 @@ class TestSuppressionsAndBaseline:
         ]
 
 
+#: A minimal repro.ledger/v1 schema table fixture (the real one lives
+#: in repro.obs.ledger; OBS001 reads whatever the configured module
+#: declares, so fixtures carry their own).
+_LEDGER_TABLE = """
+    LEDGER_EVENT_KINDS = {
+        "placement": ("pod", "node", "runner_ups"),
+        "deferral": ("pod", "reason"),
+    }
+"""
+
+
+class TestObs001LedgerConformance:
+    def test_conforming_emit_stays_silent(self):
+        proj = project(
+            obs__ledger=_LEDGER_TABLE,
+            scheduler__core="""
+                def schedule(ledger, pod, now):
+                    ledger.emit(now, "placement", pod=pod.name,
+                                node="n1", runner_ups=2)
+            """,
+        )
+        assert rules_fired(proj, ["OBS001"]) == []
+
+    def test_undeclared_kind_fires(self):
+        proj = project(
+            obs__ledger=_LEDGER_TABLE,
+            scheduler__core="""
+                def schedule(ledger, now):
+                    ledger.emit(now, "teleportation", pod="p")
+            """,
+        )
+        assert rules_fired(proj, ["OBS001"]) == ["OBS001"]
+
+    def test_undeclared_payload_field_fires(self):
+        proj = project(
+            obs__ledger=_LEDGER_TABLE,
+            scheduler__core="""
+                def schedule(ledger, pod, now):
+                    ledger.emit(now, "deferral", pod=pod.name,
+                                mood="gloomy")
+            """,
+        )
+        (finding,) = analyze_project(proj, rules=["OBS001"])
+        assert "mood" in finding.message
+
+    def test_non_literal_kind_fires(self):
+        proj = project(
+            obs__ledger=_LEDGER_TABLE,
+            scheduler__core="""
+                def schedule(ledger, kind, now):
+                    ledger.emit(now, kind, pod="p")
+            """,
+        )
+        assert rules_fired(proj, ["OBS001"]) == ["OBS001"]
+
+    def test_splat_payload_fires(self):
+        proj = project(
+            obs__ledger=_LEDGER_TABLE,
+            scheduler__core="""
+                def schedule(ledger, now, payload):
+                    ledger.emit(now, "deferral", **payload)
+            """,
+        )
+        assert rules_fired(proj, ["OBS001"]) == ["OBS001"]
+
+    def test_live_object_payload_fires(self):
+        proj = project(
+            obs__ledger=_LEDGER_TABLE,
+            scheduler__core="""
+                def schedule(ledger, pod, now):
+                    ledger.emit(now, "deferral", pod=pod,
+                                reason="epc")
+            """,
+        )
+        (finding,) = analyze_project(proj, rules=["OBS001"])
+        assert "live engine object" in finding.message
+
+    def test_attribute_receiver_is_scanned(self):
+        proj = project(
+            obs__ledger=_LEDGER_TABLE,
+            scheduler__core="""
+                def schedule(self, now):
+                    self.obs.ledger.emit(now, "nope")
+            """,
+        )
+        assert rules_fired(proj, ["OBS001"]) == ["OBS001"]
+
+    def test_non_ledger_emit_ignored(self):
+        proj = project(
+            obs__ledger=_LEDGER_TABLE,
+            scheduler__core="""
+                def schedule(bus, now):
+                    bus.emit(now, "anything-goes", payload=object())
+            """,
+        )
+        assert rules_fired(proj, ["OBS001"]) == []
+
+    def test_unparseable_table_fires_on_ledger_module(self):
+        proj = project(
+            obs__ledger="""
+                def build():
+                    return {}
+                LEDGER_EVENT_KINDS = build()
+            """,
+        )
+        (finding,) = analyze_project(proj, rules=["OBS001"])
+        assert finding.path == "obs/ledger.py"
+        assert "dict literal" in finding.message
+
+    def test_real_tree_declares_every_emitted_kind(self):
+        # Dogfood: the repository's own emit sites all conform.
+        from pathlib import Path
+
+        from repro.analysis import run_checks
+
+        root = Path(__file__).resolve().parent.parent / "src" / "repro"
+        report = run_checks(root, rules=["OBS001"])
+        assert report.clean, [f.location() for f in report.findings]
+
+
 class TestFramework:
     def test_all_rules_registered(self):
         assert list(check_names()) == [
             "API001", "CELL001", "DET001", "DET002", "DET003",
-            "DET004", "LAYOUT001", "LAYOUT002", "REG001", "TRACE001",
+            "DET004", "LAYOUT001", "LAYOUT002", "OBS001", "REG001",
+            "TRACE001",
         ]
 
     def test_unknown_rule_rejected(self):

@@ -403,3 +403,168 @@ class TestCellFlags:
         )
         payload = json.loads(capsys.readouterr().out)
         assert [r["cells"] for r in payload["results"]] == [1, 2]
+
+
+def _record(tmp_path, name, *extra):
+    """Record a tiny run's ledger via the CLI; return the path."""
+    path = str(tmp_path / (name + ".jsonl"))
+    argv = ["record", "--jobs", "12", "--ledger", path, *extra]
+    assert main(argv) == 0
+    return path
+
+
+class TestObservabilityCommands:
+    """``repro record`` / ``diff`` / ``explain``: exit-code contract.
+
+    0 on success (for ``diff``: identical decision streams), 1 when
+    ``diff`` finds a divergence, 2 on usage errors — a missing ledger
+    file, an unknown pod name, a malformed flag.
+    """
+
+    def test_help_lists_the_three_commands(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for name in ("record", "diff", "explain"):
+            assert name in out
+
+    def test_list_includes_observability_commands(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "record" in out and "diff" in out and "explain" in out
+
+    def test_record_writes_ledger(self, tmp_path, capsys):
+        path = _record(tmp_path, "run")
+        out = capsys.readouterr().out
+        assert f"ledger written to {path}" in out
+        with open(path) as handle:
+            header = json.loads(handle.readline())
+        assert header["schema"] == "repro.ledger/v1"
+
+    def test_record_json_reports_export_paths(self, tmp_path, capsys):
+        ledger = str(tmp_path / "run.jsonl")
+        trace = str(tmp_path / "run.trace.json")
+        assert (
+            main(
+                [
+                    "record",
+                    "--jobs",
+                    "12",
+                    "--ledger",
+                    ledger,
+                    "--trace-out",
+                    trace,
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ledger"] == ledger
+        assert payload["trace"] == trace
+        assert payload["metrics"] is None
+
+    def test_record_requires_ledger_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["record", "--jobs", "12"])
+        assert excinfo.value.code == 2
+        assert "--ledger" in capsys.readouterr().err
+
+    def test_record_unwritable_ledger_exits_2(self, tmp_path, capsys):
+        target = str(tmp_path / "no" / "such" / "dir" / "run.jsonl")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["record", "--jobs", "12", "--ledger", target])
+        assert excinfo.value.code == 2
+
+    def test_diff_identical_exits_0(self, tmp_path, capsys):
+        left = _record(tmp_path, "a")
+        right = _record(tmp_path, "b")
+        capsys.readouterr()
+        assert main(["diff", left, right]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_divergent_exits_1(self, tmp_path, capsys):
+        # At sgx_fraction=0.5 the run seed redraws which pods are SGX,
+        # so a seed pair diverges decision-for-decision.
+        left = _record(tmp_path, "a", "--sgx-fraction", "0.5")
+        right = _record(
+            tmp_path, "b", "--sgx-fraction", "0.5", "--seed", "9"
+        )
+        capsys.readouterr()
+        assert main(["diff", left, right]) == 1
+        out = capsys.readouterr().out
+        assert "first divergence" in out
+
+    def test_diff_json_document(self, tmp_path, capsys):
+        left = _record(tmp_path, "a", "--sgx-fraction", "0.5")
+        right = _record(
+            tmp_path, "b", "--sgx-fraction", "0.5", "--seed", "9"
+        )
+        capsys.readouterr()
+        assert main(["diff", left, right, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.ledger/v1"
+        assert payload["identical"] is False
+        assert payload["first_divergence"] is not None
+
+    def test_diff_missing_ledger_exits_2(self, tmp_path, capsys):
+        left = _record(tmp_path, "a")
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            main(["diff", left, str(tmp_path / "absent.jsonl")])
+        assert excinfo.value.code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_diff_negative_context_exits_2(self, tmp_path, capsys):
+        left = _record(tmp_path, "a")
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            main(["diff", left, left, "--context", "-1"])
+        assert excinfo.value.code == 2
+        assert "--context" in capsys.readouterr().err
+
+    def test_explain_known_pod_exits_0(self, tmp_path, capsys):
+        path = _record(tmp_path, "run")
+        with open(path) as handle:
+            placement = next(
+                json.loads(line)
+                for line in handle
+                if '"kind":"placement"' in line
+            )
+        capsys.readouterr()
+        assert (
+            main(["explain", "--ledger", path, "--pod", placement["pod"]])
+            == 0
+        )
+        assert f"pod {placement['pod']}" in capsys.readouterr().out
+
+    def test_explain_unknown_pod_exits_2(self, tmp_path, capsys):
+        path = _record(tmp_path, "run")
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explain", "--ledger", path, "--pod", "no-such-pod"])
+        assert excinfo.value.code == 2
+        assert "no event" in capsys.readouterr().err
+
+    def test_explain_missing_ledger_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "explain",
+                    "--ledger",
+                    str(tmp_path / "absent.jsonl"),
+                    "--pod",
+                    "x",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_explain_requires_pod_flag(self, tmp_path, capsys):
+        path = _record(tmp_path, "run")
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explain", "--ledger", path])
+        assert excinfo.value.code == 2
+        assert "--pod" in capsys.readouterr().err
